@@ -1,0 +1,88 @@
+"""Fig. 6 — overall NPB speedups from parallelizing the loops each
+technique detects: IDIOMS vs Polly vs ICC vs DCA (+ geometric mean).
+
+Paper shape: DCA consistently outperforms every static baseline; EP is
+near-linear for DCA; DC stays at ~1x (I/O-bound, loops excluded); the
+DCA geomean beats each baseline's geomean.
+"""
+
+import math
+
+from conftest import format_table
+
+from repro.baselines import combine_static
+from repro.benchsuite import NPB_BENCHMARKS
+from repro.parallel import MachineModel, ParallelSimulator
+
+
+def _speedup(bench, labels):
+    sim = ParallelSimulator(
+        bench.compile(fresh=True), model=MachineModel(cores=72)
+    )
+    return sim.simulate(list(labels)).speedup
+
+
+def _gmean(values):
+    return math.exp(sum(math.log(max(v, 1e-9)) for v in values) / len(values))
+
+
+def _fig6(dca_reports, detection_contexts, detectors):
+    rows = []
+    columns = {name: [] for name in ("idioms", "polly", "icc", "dca")}
+    for bench in NPB_BENCHMARKS:
+        ctx = detection_contexts[bench.name]
+        report = dca_reports[bench.name]
+        per_tool = {}
+        for name in ("idioms", "polly", "icc"):
+            detected = [
+                l for l, r in detectors[name].detect(ctx).items() if r.parallel
+            ]
+            per_tool[name] = _speedup(bench, detected)
+        per_tool["dca"] = _speedup(bench, report.commutative_labels())
+        for name, value in per_tool.items():
+            columns[name].append(value)
+        rows.append(
+            (
+                bench.name,
+                *(f"{per_tool[n]:.2f}x" for n in ("idioms", "polly", "icc", "dca")),
+            )
+        )
+    rows.append(
+        (
+            "GMean",
+            *(
+                f"{_gmean(columns[n]):.2f}x"
+                for n in ("idioms", "polly", "icc", "dca")
+            ),
+        )
+    )
+    return rows
+
+
+def test_fig6_npb_speedup(
+    benchmark, dca_reports, detection_contexts, detectors, capsys
+):
+    rows = benchmark.pedantic(
+        _fig6,
+        args=(dca_reports, detection_contexts, detectors),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(("Benchmark", "IDIOMS", "Polly", "ICC", "DCA"), rows)
+    with capsys.disabled():
+        print("\n== Fig. 6: NPB speedups (72 simulated cores) ==")
+        print(table)
+
+    data = {r[0]: [float(c.rstrip("x")) for c in r[1:]] for r in rows}
+    gmean = data["GMean"]
+    assert gmean[3] >= max(gmean[:3]), "DCA geomean must lead"
+    # EP near-linear for DCA, far above every static tool.
+    assert data["EP"][3] > 10
+    assert data["EP"][3] > max(data["EP"][:3])
+    # DC is I/O bound: nobody gets real speedup.
+    assert data["DC"][3] < 2.0
+    # DCA never loses to a baseline on any benchmark.
+    for name, values in data.items():
+        if name == "GMean":
+            continue
+        assert values[3] >= max(values[:3]) - 1e-6, f"DCA loses on {name}"

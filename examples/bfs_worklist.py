@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 2 walkthrough: BFS with worklists.
+
+Runs the full analysis pipeline on the Lonestar-style BFS benchmark and
+shows the machinery the paper describes:
+
+1. profile-guided iterator recognition pulling ``pop(frontier)`` into the
+   iterator slice through a memory dependence,
+2. DCA detecting the top-down step as commutative,
+3. every baseline detector failing on the same loop.
+
+Run:  python examples/bfs_worklist.py
+"""
+
+from repro.baselines import (
+    DependenceProfilingDetector,
+    DiscoPopDetector,
+    IccDetector,
+    IdiomsDetector,
+    PollyDetector,
+    build_context,
+)
+from repro.benchsuite import by_name
+from repro.core import DcaAnalyzer, iterator_fraction
+
+KERNEL = "main.L3"  # the top-down step (paper Fig. 2, lines 9-23)
+
+
+def main() -> None:
+    bench = by_name("BFS")
+    module = bench.compile(fresh=True)
+
+    print("== Iterator/payload separation of the top-down step ==")
+    ctx = build_context(bench.compile(fresh=True))
+    flows = ctx.profile.memory_flow_edges()
+    frac_static = iterator_fraction(module.functions["main"], KERNEL)
+    frac_guided = iterator_fraction(
+        module.functions["main"], KERNEL, memory_flow=flows.get(KERNEL)
+    )
+    print(f"  iterator share, register slice only : {frac_static:.0%}")
+    print(f"  iterator share, profile-guided      : {frac_guided:.0%}")
+    print("  (the difference is pop() joining the iterator through the")
+    print("   frontier->size memory dependence)\n")
+
+    print("== DCA on the whole program ==")
+    report = DcaAnalyzer(bench.compile(fresh=True), rtol=bench.rtol).analyze()
+    for label in sorted(report.results):
+        result = report.results[label]
+        marker = " <= the paper's claim" if label == KERNEL else ""
+        print(f"  {label}: {result.verdict}{marker}")
+
+    print("\n== The five baselines on the same kernel loop ==")
+    for detector_cls in (
+        DependenceProfilingDetector,
+        DiscoPopDetector,
+        IdiomsDetector,
+        PollyDetector,
+        IccDetector,
+    ):
+        det = detector_cls()
+        result = det.detect(ctx)[KERNEL]
+        verdict = "parallel" if result.parallel else "NOT parallel"
+        print(f"  {det.name:14s}: {verdict:13s} ({result.reason[:60]})")
+
+
+if __name__ == "__main__":
+    main()

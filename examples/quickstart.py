@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: run Dynamic Commutativity Analysis on the paper's Fig. 1.
+
+Compiles two loops that perform the same map operation — one array-based,
+one over a pointer-linked list — and shows that DCA detects both as
+commutative, plus a genuinely order-dependent loop it correctly rejects.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_program
+from repro.core import DcaAnalyzer
+
+SOURCE = """
+struct Node { int val; Node* next; }
+
+func void main() {
+  // Fig. 1(a): array-based map.
+  int[] array = new int[16];
+  for (int i = 0; i < 16; i = i + 1) {
+    array[i] = array[i] + 1;
+  }
+
+  // Build a linked list (ordered construction: NOT commutative).
+  Node* head = null;
+  for (int k = 0; k < 12; k = k + 1) {
+    Node* n = new Node;
+    n->val = k;
+    n->next = head;
+    head = n;
+  }
+
+  // Fig. 1(b): the same map over the list. Dependence analysis sees a
+  // cross-iteration read-after-write on `ptr` and gives up; DCA permutes
+  // the payload and observes identical live-outs.
+  Node* ptr = head;
+  while (ptr) {
+    ptr->val = ptr->val + 1;
+    ptr = ptr->next;
+  }
+
+  // A prefix sum: genuinely order-dependent.
+  int[] pre = new int[10];
+  int acc = 0;
+  for (int j = 0; j < 10; j = j + 1) {
+    acc = acc + j;
+    pre[j] = acc;
+  }
+
+  int check = 0;
+  ptr = head;
+  while (ptr) { check = check + ptr->val; ptr = ptr->next; }
+  for (int j = 0; j < 10; j = j + 1) { check = check + pre[j] + array[j]; }
+  print(check);
+}
+"""
+
+
+def main() -> None:
+    module = compile_program(SOURCE)
+    report = DcaAnalyzer(module).analyze()
+
+    print("DCA verdicts (paper Fig. 1 loops):\n")
+    notes = {
+        "main.L0": "array map        (Fig. 1a)",
+        "main.L1": "list construction",
+        "main.L2": "PLDS map         (Fig. 1b)",
+        "main.L3": "prefix sum",
+        "main.L4": "list reduction",
+        "main.L5": "array reduction",
+    }
+    for label in sorted(report.results):
+        result = report.results[label]
+        mark = "PARALLELIZABLE" if result.is_commutative else "ordered"
+        print(f"  {label}  {notes.get(label, ''):26s} -> {result.verdict:18s} [{mark}]")
+
+    print(f"\n{report.executions} instrumented executions performed.")
+    print("Note how the pointer-chasing loop (main.L2) — invisible to every")
+    print("dependence-based technique — is detected just like the array loop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Compiler analyses shared by DCA and the baseline detectors."""
+
+from repro.analysis.cfg import compute_dominators, dominates, reverse_postorder
+from repro.analysis.defuse import DefUseGraph, ReachingDefs
+from repro.analysis.liveness import Liveness, LoopLiveness
+from repro.analysis.loops import Loop, LoopForest, build_loop_forest, invalidate_loops
+from repro.analysis.purity import EffectAnalysis, FunctionEffects
+
+__all__ = [
+    "DefUseGraph",
+    "EffectAnalysis",
+    "FunctionEffects",
+    "Liveness",
+    "Loop",
+    "LoopForest",
+    "LoopLiveness",
+    "ReachingDefs",
+    "build_loop_forest",
+    "compute_dominators",
+    "dominates",
+    "invalidate_loops",
+    "reverse_postorder",
+]

@@ -1,0 +1,91 @@
+"""CFG utilities: reverse-postorder and dominator computation.
+
+Dominators use the classic iterative data-flow formulation (Cooper, Harper
+& Kennedy, *A Simple, Fast Dominance Algorithm*), which is more than fast
+enough at the scale of MiniC functions and easy to audit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import Function
+
+
+def reverse_postorder(func: Function) -> List[str]:
+    """Reverse-postorder over blocks reachable from the entry."""
+    visited: Set[str] = set()
+    postorder: List[str] = []
+
+    def dfs(name: str) -> None:
+        # Iterative DFS to avoid Python recursion limits on long CFGs.
+        stack: List = [(name, iter(func.blocks[name].successors()))]
+        visited.add(name)
+        while stack:
+            node, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(func.blocks[succ].successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    dfs(func.entry)
+    return list(reversed(postorder))
+
+
+def compute_dominators(func: Function) -> Dict[str, Optional[str]]:
+    """Immediate dominators for every reachable block.
+
+    Returns a mapping ``block -> idom`` with the entry mapping to ``None``.
+    """
+    rpo = reverse_postorder(func)
+    index = {name: i for i, name in enumerate(rpo)}
+    preds = func.predecessors()
+
+    idom: Dict[str, Optional[str]] = {func.entry: func.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == func.entry:
+                continue
+            candidates = [p for p in preds[name] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(name) != new_idom:
+                idom[name] = new_idom
+                changed = True
+
+    result: Dict[str, Optional[str]] = {}
+    for name in rpo:
+        result[name] = None if name == func.entry else idom.get(name)
+    return result
+
+
+def dominates(
+    idom: Dict[str, Optional[str]], a: str, b: str
+) -> bool:
+    """Whether block ``a`` dominates block ``b`` (reflexive)."""
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False

@@ -1,0 +1,146 @@
+"""Reaching definitions and def-use chains at instruction granularity.
+
+Instruction sites are ``(block_name, index)`` pairs.  The analysis is a
+standard forward may-reach data flow over the non-SSA register IR; the
+def-use graph it induces is the substrate of the generalized iterator
+recognition in :mod:`repro.core.iterator_recognition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Reg
+
+Site = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One definition of one register."""
+
+    site: Site
+    reg: Reg
+
+
+class ReachingDefs:
+    """Forward may-reaching definitions for one function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        #: All definition sites, per register.
+        self.def_sites: Dict[Reg, Set[Site]] = {}
+        #: For every (use site, register) pair, the definitions reaching it.
+        self._reaching_at_use: Dict[Tuple[Site, Reg], FrozenSet[Site]] = {}
+        self._compute()
+
+    def instr_at(self, site: Site) -> Instr:
+        block, idx = site
+        return self.func.blocks[block].instrs[idx]
+
+    def reaching(self, site: Site, reg: Reg) -> FrozenSet[Site]:
+        """Definition sites of ``reg`` that may reach the use at ``site``."""
+        return self._reaching_at_use.get((site, reg), frozenset())
+
+    def defs_of(self, reg: Reg) -> Set[Site]:
+        return set(self.def_sites.get(reg, set()))
+
+    # -- computation ------------------------------------------------------------
+
+    def _compute(self) -> None:
+        func = self.func
+        # Parameters count as definitions at a pseudo-site ("", -1).
+        param_site: Site = ("", -1)
+        gen_block: Dict[str, Dict[Reg, Site]] = {}
+        kill_regs: Dict[str, Set[Reg]] = {}
+
+        for reg in func.param_regs():
+            self.def_sites.setdefault(reg, set()).add(param_site)
+
+        for block in func.ordered_blocks():
+            gen: Dict[Reg, Site] = {}
+            kills: Set[Reg] = set()
+            for idx, instr in enumerate(block.instrs):
+                for reg in instr.defs():
+                    gen[reg] = (block.name, idx)
+                    kills.add(reg)
+                    self.def_sites.setdefault(reg, set()).add((block.name, idx))
+            gen_block[block.name] = gen
+            kill_regs[block.name] = kills
+
+        # IN/OUT sets of DefSite objects per block.
+        in_sets: Dict[str, Set[DefSite]] = {n: set() for n in func.block_order}
+        out_sets: Dict[str, Set[DefSite]] = {n: set() for n in func.block_order}
+        entry_defs = {DefSite(param_site, reg) for reg in func.param_regs()}
+        preds = func.predecessors()
+
+        changed = True
+        while changed:
+            changed = False
+            for name in func.block_order:
+                if name == func.entry:
+                    in_set = set(entry_defs)
+                else:
+                    in_set = set()
+                for p in preds[name]:
+                    in_set |= out_sets[p]
+                if in_set != in_sets[name]:
+                    in_sets[name] = in_set
+                    changed = True
+                survivors = {
+                    d for d in in_set if d.reg not in kill_regs[name]
+                }
+                gen_set = {
+                    DefSite(site, reg) for reg, site in gen_block[name].items()
+                }
+                out_set = survivors | gen_set
+                if out_set != out_sets[name]:
+                    out_sets[name] = out_set
+                    changed = True
+
+        # Walk each block once more to record per-use reaching sets.
+        for block in func.ordered_blocks():
+            current: Dict[Reg, Set[Site]] = {}
+            for d in in_sets[block.name]:
+                current.setdefault(d.reg, set()).add(d.site)
+            for idx, instr in enumerate(block.instrs):
+                site = (block.name, idx)
+                for reg in instr.uses():
+                    self._reaching_at_use[(site, reg)] = frozenset(
+                        current.get(reg, set())
+                    )
+                for reg in instr.defs():
+                    current[reg] = {site}
+
+
+class DefUseGraph:
+    """Instruction-level def→use edges derived from reaching definitions."""
+
+    def __init__(self, func: Function, reaching: ReachingDefs = None):
+        self.func = func
+        self.reaching = reaching or ReachingDefs(func)
+        #: def site -> set of use sites
+        self.users: Dict[Site, Set[Site]] = {}
+        #: use site -> set of def sites feeding it
+        self.sources: Dict[Site, Set[Site]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for block in self.func.ordered_blocks():
+            for idx, instr in enumerate(block.instrs):
+                use_site = (block.name, idx)
+                for reg in instr.uses():
+                    for def_site in self.reaching.reaching(use_site, reg):
+                        if def_site == ("", -1):
+                            continue  # parameter pseudo-definition
+                        self.users.setdefault(def_site, set()).add(use_site)
+                        self.sources.setdefault(use_site, set()).add(def_site)
+
+    def sites(self) -> List[Site]:
+        out: List[Site] = []
+        for block in self.func.ordered_blocks():
+            for idx in range(len(block.instrs)):
+                out.append((block.name, idx))
+        return out

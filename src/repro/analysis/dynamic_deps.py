@@ -1,0 +1,232 @@
+"""Dynamic (profile-guided) memory-dependence analysis.
+
+This observer reconstructs, from one instrumented execution, the memory
+data-flow the paper's infrastructure obtains from LLVM instrumentation:
+
+* **per-loop dependence edges** between *static* instruction sites —
+  read-after-write (flow), write-after-read (anti) and write-after-write
+  (output) — each tagged with whether the two accesses happened in the
+  same iteration and/or invocation of the loop;
+* **privatization facts** — whether every iteration that touches a
+  location writes it before reading it (Tournavitis et al. [8]);
+* access attribution through calls: an access made inside a callee is
+  attributed to the (innermost) call site inside the loop's function, so
+  loops with helper calls (``push``/``pop``) still produce loop-level
+  edges.
+
+Consumers:
+
+* :mod:`repro.core.iterator_recognition` follows same-invocation flow
+  edges so that e.g. ``pop(frontier)`` feeding ``frontier->size`` joins
+  the iterator slice (the "profile-guided" part of generalized iterator
+  recognition);
+* the dependence-profiling and DiscoPoP-style baselines decide
+  parallelizability from the cross-iteration edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.loops import build_loop_forest
+from repro.interp.events import Observer
+from repro.ir.function import Module
+from repro.ir.instructions import Instr
+
+#: (func_name, block_name, index)
+Site = Tuple[str, str, int]
+
+#: (label, invocation, iteration) snapshots of the loop stack.
+LoopSnap = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dynamic dependence between two static sites, scoped to a loop."""
+
+    kind: str  # "raw" | "war" | "waw"
+    writer: Site
+    reader: Site
+    same_iteration: bool
+    #: The concrete location (valid within the profiled run only); lets
+    #: baseline detectors consult privatization facts per edge.
+    loc: Tuple = ()
+
+
+class SiteRegistry:
+    """Maps instruction identity to static location and loop membership."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.site_of: Dict[int, Site] = {}
+        #: id(instr) -> loop labels containing the instruction.
+        self.loops_of: Dict[int, Tuple[str, ...]] = {}
+        for func in module.functions.values():
+            forest = build_loop_forest(func)
+            for block in func.ordered_blocks():
+                chain = tuple(l.label for l in forest.loop_chain(block.name))
+                for idx, instr in enumerate(block.instrs):
+                    self.site_of[id(instr)] = (func.name, block.name, idx)
+                    self.loops_of[id(instr)] = chain
+
+    def innermost_site_in_loop(
+        self, chain: Tuple[int, ...], label: str
+    ) -> Optional[Site]:
+        """Deepest element of an attribution chain lying inside ``label``."""
+        for instr_id in reversed(chain):
+            if label in self.loops_of.get(instr_id, ()):
+                return self.site_of[instr_id]
+        return None
+
+
+@dataclass
+class _Access:
+    chain: Tuple[int, ...]
+    loops: Tuple[LoopSnap, ...]
+
+
+@dataclass
+class _PrivState:
+    """Per-(loop,location) privatization tracking."""
+
+    invocation: int = -1
+    iteration: int = -1
+    first_is_write: bool = True
+    always_written_first: bool = True
+    iterations_touched: int = 0
+
+
+@dataclass
+class LoopDeps:
+    """Aggregated dependence facts for one loop label."""
+
+    label: str
+    edges: Set[DepEdge] = field(default_factory=set)
+    #: Locations with a cross-iteration access of any kind.
+    shared_locations: int = 0
+
+    def cross_iteration_edges(self, kind: Optional[str] = None) -> List[DepEdge]:
+        return [
+            e
+            for e in self.edges
+            if not e.same_iteration and (kind is None or e.kind == kind)
+        ]
+
+    def flow_edges_same_invocation(self) -> Set[Tuple[Site, Site]]:
+        """(writer, reader) flow pairs — iterator-recognition input."""
+        return {(e.writer, e.reader) for e in self.edges if e.kind == "raw"}
+
+
+class DynamicDepProfiler(Observer):
+    """Observer building :class:`LoopDeps` for every loop executed."""
+
+    wants_memory = True
+    wants_loops = True
+
+    #: Cap on remembered reads per location between writes.
+    _MAX_READS = 6
+
+    def __init__(self, module: Module, registry: Optional[SiteRegistry] = None):
+        self.registry = registry or SiteRegistry(module)
+        self.loop_deps: Dict[str, LoopDeps] = {}
+        self._last_write: Dict[Tuple, _Access] = {}
+        self._reads: Dict[Tuple, List[_Access]] = {}
+        self._priv: Dict[Tuple[str, Tuple], _PrivState] = {}
+        #: Labels of loops that were entered at least once.
+        self.executed: set = set()
+        self.interp = None  # set by attach()
+
+    def on_loop_enter(self, label: str, invocation: int) -> None:
+        self.executed.add(label)
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _snapshot(self, instr: Instr) -> _Access:
+        interp = self.interp
+        chain = tuple(id(c) for c in interp.call_stack) + (id(instr),)
+        loops = tuple(
+            (ctx.label, ctx.invocation, ctx.iteration) for ctx in interp.loop_stack
+        )
+        return _Access(chain=chain, loops=loops)
+
+    def on_read(self, loc, instr) -> None:
+        access = self._snapshot(instr)
+        write = self._last_write.get(loc)
+        if write is not None:
+            self._emit_edges("raw", loc, write, access)
+        reads = self._reads.setdefault(loc, [])
+        if len(reads) < self._MAX_READS:
+            reads.append(access)
+        else:
+            reads[-1] = access
+        self._update_priv(loc, access, is_write=False)
+
+    def on_write(self, loc, instr) -> None:
+        access = self._snapshot(instr)
+        prev_write = self._last_write.get(loc)
+        if prev_write is not None:
+            self._emit_edges("waw", loc, prev_write, access)
+        for read in self._reads.get(loc, ()):  # anti dependences
+            self._emit_edges("war", loc, read, access)
+        self._reads[loc] = []
+        self._last_write[loc] = access
+        self._update_priv(loc, access, is_write=True)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _emit_edges(self, kind: str, loc, first: _Access, second: _Access) -> None:
+        """Record an edge for every loop containing both accesses."""
+        second_ctx = {snap[0]: snap for snap in second.loops}
+        for label, invocation, iteration in first.loops:
+            other = second_ctx.get(label)
+            if other is None or other[1] != invocation:
+                continue  # different invocation (or loop not active)
+            w_site = self.registry.innermost_site_in_loop(first.chain, label)
+            r_site = self.registry.innermost_site_in_loop(second.chain, label)
+            if w_site is None or r_site is None:
+                continue
+            deps = self.loop_deps.setdefault(label, LoopDeps(label))
+            deps.edges.add(
+                DepEdge(
+                    kind=kind,
+                    writer=w_site,
+                    reader=r_site,
+                    same_iteration=(other[2] == iteration),
+                    loc=loc,
+                )
+            )
+
+    def _update_priv(self, loc, access: _Access, is_write: bool) -> None:
+        for label, invocation, iteration in access.loops:
+            key = (label, loc)
+            state = self._priv.get(key)
+            if state is None:
+                state = _PrivState()
+                self._priv[key] = state
+            if state.invocation != invocation or state.iteration != iteration:
+                state.invocation = invocation
+                state.iteration = iteration
+                state.iterations_touched += 1
+                state.first_is_write = is_write
+                if not is_write:
+                    state.always_written_first = False
+
+    # -- results ---------------------------------------------------------------
+
+    def deps_for(self, label: str) -> LoopDeps:
+        return self.loop_deps.get(label, LoopDeps(label))
+
+    def is_privatizable(self, label: str, loc) -> bool:
+        """Every iteration of ``label`` touching ``loc`` wrote it first."""
+        state = self._priv.get((label, loc))
+        if state is None:
+            return True
+        return state.always_written_first
+
+    def memory_flow_edges(self) -> Dict[str, Set[Tuple[Site, Site]]]:
+        """Same-invocation flow edges per loop, for iterator recognition."""
+        return {
+            label: deps.flow_edges_same_invocation()
+            for label, deps in self.loop_deps.items()
+        }

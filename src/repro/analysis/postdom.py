@@ -1,0 +1,153 @@
+"""Postdominators and control dependence.
+
+Computed on the reverse CFG with a virtual exit node joining every
+``Ret``-terminated block (and, defensively, blocks with no successors).
+
+Control dependence follows Ferrante-Ottenstein-Warren: block ``X`` is
+control dependent on edge ``(Y, Z)`` iff ``X`` postdominates ``Z`` but does
+not postdominate ``Y``.  The generalized iterator recognition uses this to
+pull loop-internal branch conditions into the iterator slice when the
+iterator's own instructions execute conditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+
+_VIRTUAL_EXIT = "$exit"
+
+
+class PostDominators:
+    """Immediate postdominators for every block of a function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.ipostdom: Dict[str, Optional[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        func = self.func
+        succs: Dict[str, List[str]] = {}
+        preds: Dict[str, List[str]] = {_VIRTUAL_EXIT: []}
+        for block in func.ordered_blocks():
+            ss = block.successors()
+            if not ss:
+                ss = [_VIRTUAL_EXIT]
+            succs[block.name] = ss
+        succs[_VIRTUAL_EXIT] = []
+        for name, ss in succs.items():
+            for s in ss:
+                preds.setdefault(s, []).append(name)
+        for name in succs:
+            preds.setdefault(name, [])
+
+        # Reverse-postorder of the *reverse* CFG starting from the exit.
+        visited: Set[str] = set()
+        postorder: List[str] = []
+
+        def dfs(start: str) -> None:
+            stack: List[Tuple[str, object]] = [(start, iter(preds[start]))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(preds[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        dfs(_VIRTUAL_EXIT)
+        rpo = list(reversed(postorder))
+        index = {name: i for i, name in enumerate(rpo)}
+
+        ipdom: Dict[str, Optional[str]] = {_VIRTUAL_EXIT: _VIRTUAL_EXIT}
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = ipdom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = ipdom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == _VIRTUAL_EXIT:
+                    continue
+                candidates = [
+                    s for s in succs.get(name, []) if s in ipdom and s in index
+                ]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for s in candidates[1:]:
+                    new = intersect(new, s)
+                if ipdom.get(name) != new:
+                    ipdom[name] = new
+                    changed = True
+
+        self.ipostdom = {
+            name: (None if ipdom.get(name) in (None, _VIRTUAL_EXIT) else ipdom[name])
+            for name in func.block_order
+            if name in index
+        }
+        # Blocks not reaching the exit (infinite loops) keep no postdominator.
+        for name in func.block_order:
+            self.ipostdom.setdefault(name, None)
+
+    def postdominates(self, a: str, b: str) -> bool:
+        """Whether ``a`` postdominates ``b`` (reflexive)."""
+        node: Optional[str] = b
+        seen: Set[str] = set()
+        while node is not None and node not in seen:
+            if node == a:
+                return True
+            seen.add(node)
+            node = self.ipostdom.get(node)
+        return False
+
+
+class ControlDependence:
+    """Block-level control-dependence relation."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.postdom = PostDominators(func)
+        #: block -> set of blocks whose terminator it is control dependent on
+        self.deps: Dict[str, Set[str]] = {n: set() for n in func.block_order}
+        self._compute()
+
+    def _compute(self) -> None:
+        func = self.func
+        pd = self.postdom
+        for block in func.ordered_blocks():
+            succs = block.successors()
+            if len(succs) < 2:
+                continue
+            for succ in succs:
+                # Walk up the postdominator tree from succ until reaching
+                # block's immediate postdominator; everything on the way is
+                # control dependent on (block -> succ).
+                runner: Optional[str] = succ
+                stop = pd.ipostdom.get(block.name)
+                seen: Set[str] = set()
+                while (
+                    runner is not None
+                    and runner != stop
+                    and runner not in seen
+                ):
+                    seen.add(runner)
+                    self.deps[runner].add(block.name)
+                    runner = pd.ipostdom.get(runner)
+
+    def controlling_blocks(self, name: str) -> Set[str]:
+        return set(self.deps.get(name, set()))

@@ -1,0 +1,135 @@
+"""Interprocedural side-effect summaries.
+
+For each function we compute a transitive :class:`FunctionEffects` summary:
+which globals it may read/write, whether it touches the heap, allocates, or
+performs I/O.  DCA's candidate selection uses ``does_io`` (paper §IV-E:
+loops with I/O are excluded); the static baselines use the summaries to
+reason about calls inside loops; ICC-style pure-function inlining keys off
+``is_pure``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.ir.function import Module
+from repro.ir.instructions import (
+    Call,
+    CallBuiltin,
+    Intrinsic,
+    LoadGlobal,
+    NewArray,
+    NewStruct,
+    StoreGlobal,
+)
+from repro.lang.builtins import builtin_is_pure
+
+
+@dataclass
+class FunctionEffects:
+    """Transitive may-effects of one function."""
+
+    name: str
+    does_io: bool = False
+    reads_heap: bool = False
+    writes_heap: bool = False
+    allocates: bool = False
+    globals_read: Set[str] = field(default_factory=set)
+    globals_written: Set[str] = field(default_factory=set)
+
+    @property
+    def is_pure(self) -> bool:
+        """No observable side effects and no dependence on mutable state.
+
+        Reading the heap or globals makes a function impure for inlining
+        purposes only in the presence of concurrent mutation; for the
+        ICC-style baseline we use the strict definition (no writes, no I/O).
+        """
+        return not (
+            self.does_io
+            or self.writes_heap
+            or self.globals_written
+            or self.allocates
+        )
+
+    def merge_callee(self, other: "FunctionEffects") -> bool:
+        """Fold a callee summary into this one; returns True if changed."""
+        before = (
+            self.does_io,
+            self.reads_heap,
+            self.writes_heap,
+            self.allocates,
+            len(self.globals_read),
+            len(self.globals_written),
+        )
+        self.does_io |= other.does_io
+        self.reads_heap |= other.reads_heap
+        self.writes_heap |= other.writes_heap
+        self.allocates |= other.allocates
+        self.globals_read |= other.globals_read
+        self.globals_written |= other.globals_written
+        after = (
+            self.does_io,
+            self.reads_heap,
+            self.writes_heap,
+            self.allocates,
+            len(self.globals_read),
+            len(self.globals_written),
+        )
+        return before != after
+
+
+class EffectAnalysis:
+    """Computes fixed-point effect summaries for a whole module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.effects: Dict[str, FunctionEffects] = {}
+        self._callees: Dict[str, Set[str]] = {}
+        self._compute()
+
+    def of(self, name: str) -> FunctionEffects:
+        return self.effects[name]
+
+    def _compute(self) -> None:
+        for func in self.module.functions.values():
+            summary = FunctionEffects(func.name)
+            callees: Set[str] = set()
+            for instr in func.instructions():
+                if isinstance(instr, LoadGlobal):
+                    summary.globals_read.add(instr.name)
+                elif isinstance(instr, StoreGlobal):
+                    summary.globals_written.add(instr.name)
+                elif isinstance(instr, (NewStruct, NewArray)):
+                    summary.allocates = True
+                elif isinstance(instr, CallBuiltin):
+                    if not builtin_is_pure(instr.func):
+                        summary.does_io = True
+                elif isinstance(instr, Intrinsic):
+                    # Runtime hooks are analysis machinery, not program
+                    # effects; they never count as I/O.
+                    pass
+                elif isinstance(instr, Call):
+                    callees.add(instr.func)
+                elif instr.is_memory_read() and not isinstance(instr, LoadGlobal):
+                    summary.reads_heap = True
+                if instr.is_memory_write() and not isinstance(instr, StoreGlobal):
+                    summary.writes_heap = True
+            self.effects[func.name] = summary
+            self._callees[func.name] = callees
+
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in self._callees.items():
+                summary = self.effects[name]
+                for callee in callees:
+                    if callee not in self.effects:
+                        # Unknown callee: assume the worst.
+                        summary.does_io = True
+                        summary.reads_heap = True
+                        summary.writes_heap = True
+                        continue
+                    if summary.merge_callee(self.effects[callee]):
+                        changed = True

@@ -1,0 +1,38 @@
+"""The five baseline parallelism detectors evaluated against DCA (§V-A).
+
+Dynamic (profile-driven): dependence profiling [8], DiscoPoP [9].
+Static: IDIOMS [51], Polly [52], ICC [53].
+"""
+
+from repro.baselines.base import (
+    DetectionContext,
+    DetectionResult,
+    Detector,
+    build_context,
+    combine_static,
+)
+from repro.baselines.dep_profiling import DependenceProfilingDetector
+from repro.baselines.discopop import DiscoPopDetector
+from repro.baselines.icc import IccDetector
+from repro.baselines.idioms import IdiomsDetector
+from repro.baselines.polly import PollyDetector
+
+STATIC_DETECTORS = (IdiomsDetector, PollyDetector, IccDetector)
+DYNAMIC_DETECTORS = (DependenceProfilingDetector, DiscoPopDetector)
+ALL_DETECTORS = DYNAMIC_DETECTORS + STATIC_DETECTORS
+
+__all__ = [
+    "ALL_DETECTORS",
+    "DYNAMIC_DETECTORS",
+    "DependenceProfilingDetector",
+    "DetectionContext",
+    "DetectionResult",
+    "Detector",
+    "DiscoPopDetector",
+    "IccDetector",
+    "IdiomsDetector",
+    "PollyDetector",
+    "STATIC_DETECTORS",
+    "build_context",
+    "combine_static",
+]

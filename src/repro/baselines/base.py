@@ -1,0 +1,135 @@
+"""Common infrastructure for the five baseline parallelism detectors.
+
+Every detector consumes a shared :class:`DetectionContext` (static analyses
+plus, for the dynamic tools, one profiled execution) and returns a verdict
+per source loop.  This mirrors the paper's setup where all tools are
+configured for *maximum detection capability* (§V-A Configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.alias import PointsTo
+from repro.analysis.dynamic_deps import DynamicDepProfiler
+from repro.analysis.loops import Loop, LoopForest, build_loop_forest
+from repro.analysis.purity import EffectAnalysis
+from repro.analysis.reductions import LoopIdioms, classify_loop
+from repro.interp.interpreter import Interpreter
+from repro.ir.function import Function, Module
+
+
+@dataclass
+class DetectionResult:
+    """One detector's verdict for one loop."""
+
+    label: str
+    parallel: bool
+    reason: str = ""
+    detector: str = ""
+
+
+@dataclass
+class DetectionContext:
+    """Shared analysis state for all detectors on one program + workload."""
+
+    module: Module
+    effects: EffectAnalysis
+    points_to: PointsTo
+    forests: Dict[str, LoopForest]
+    idioms: Dict[str, LoopIdioms]
+    #: label -> owning function name
+    loop_functions: Dict[str, str]
+    #: Dynamic profile; None when the profiled run was skipped.
+    profile: Optional[DynamicDepProfiler] = None
+    profiled_steps: int = 0
+
+    def loop(self, label: str) -> Loop:
+        func = self.loop_functions[label]
+        return self.forests[func].loops[label]
+
+    def function_of(self, label: str) -> Function:
+        return self.module.functions[self.loop_functions[label]]
+
+    def all_labels(self) -> List[str]:
+        return sorted(self.loop_functions)
+
+
+def build_context(
+    module: Module,
+    entry: str = "main",
+    args: Optional[Sequence[object]] = None,
+    run_profile: bool = True,
+    max_steps: Optional[int] = None,
+) -> DetectionContext:
+    """Run the static analyses (and one profiled execution) for detection."""
+    forests: Dict[str, LoopForest] = {}
+    idioms: Dict[str, LoopIdioms] = {}
+    loop_functions: Dict[str, str] = {}
+    for func in module.functions.values():
+        forest = build_loop_forest(func)
+        forests[func.name] = forest
+        for label in func.loops:
+            if label not in forest.loops:
+                continue
+            loop_functions[label] = func.name
+            idioms[label] = classify_loop(func, forest.loops[label])
+
+    profile = None
+    profiled_steps = 0
+    if run_profile:
+        profile = DynamicDepProfiler(module)
+        interp = Interpreter(module, observers=[profile], max_steps=max_steps)
+        interp.run(entry, list(args or []))
+        profiled_steps = interp.steps
+
+    return DetectionContext(
+        module=module,
+        effects=EffectAnalysis(module),
+        points_to=PointsTo(module),
+        forests=forests,
+        idioms=idioms,
+        loop_functions=loop_functions,
+        profile=profile,
+        profiled_steps=profiled_steps,
+    )
+
+
+class Detector:
+    """Base class: one parallelism-detection technique."""
+
+    name = "abstract"
+
+    def detect(self, ctx: DetectionContext) -> Dict[str, DetectionResult]:
+        results = {}
+        for label in ctx.all_labels():
+            parallel, reason = self.classify_loop(ctx, label)
+            results[label] = DetectionResult(
+                label=label, parallel=parallel, reason=reason, detector=self.name
+            )
+        return results
+
+    def classify_loop(self, ctx: DetectionContext, label: str):
+        raise NotImplementedError
+
+    def parallel_labels(self, ctx: DetectionContext) -> List[str]:
+        return [l for l, r in self.detect(ctx).items() if r.parallel]
+
+
+def combine_static(
+    results: Sequence[Dict[str, DetectionResult]]
+) -> Dict[str, DetectionResult]:
+    """Union of detector verdicts — the paper's "Combined Static" column."""
+    combined: Dict[str, DetectionResult] = {}
+    for per_tool in results:
+        for label, res in per_tool.items():
+            cur = combined.get(label)
+            if cur is None or (res.parallel and not cur.parallel):
+                combined[label] = DetectionResult(
+                    label=label,
+                    parallel=res.parallel,
+                    reason=res.reason,
+                    detector="combined",
+                )
+    return combined

@@ -1,0 +1,25 @@
+"""Benchmark suite: NPB-style kernels and PLDS programs with metadata."""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+from repro.benchsuite.npb import NPB_BENCHMARKS
+from repro.benchsuite.plds import FIG5_BENCHMARKS, PLDS_BENCHMARKS
+
+ALL_BENCHMARKS = tuple(NPB_BENCHMARKS) + tuple(PLDS_BENCHMARKS)
+
+
+def by_name(name: str) -> Benchmark:
+    for bench in ALL_BENCHMARKS:
+        if bench.name == name:
+            return bench
+    raise KeyError(f"no benchmark named {name!r}")
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "Benchmark",
+    "FIG5_BENCHMARKS",
+    "NPB_BENCHMARKS",
+    "PLDS_BENCHMARKS",
+    "Table2Info",
+    "by_name",
+]

@@ -1,0 +1,92 @@
+"""Benchmark-suite infrastructure.
+
+Each benchmark is a MiniC program plus evaluation metadata:
+
+* ``ground_truth`` — per-loop expert verdict on parallelizability, used
+  for the precision study (paper Table IV, false positives/negatives);
+* ``expert_loops`` — the loops the expert (OpenMP reference version)
+  parallelizes, used by Fig. 6/7;
+* ``expert_extra_fraction`` — how much of the remaining serial time full
+  expert restructuring extracts beyond loop-level parallelism (Fig. 7);
+* ``table2`` — for PLDS programs, the kernel loop and its literature
+  record (paper Table II).
+
+Loop labels are the stable ``<function>.L<n>`` names assigned by lowering
+in source order; ``validate()`` checks that metadata references loops that
+actually exist in the compiled program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.driver import compile_program
+from repro.ir.function import Module
+
+
+@dataclass
+class Table2Info:
+    """Literature record for a PLDS kernel (paper Table II)."""
+
+    origin: str
+    function: str
+    #: The loop DCA should detect as commutative.
+    kernel_label: str
+    #: Loop-level potential speedup reported in the literature (× or None).
+    lit_loop_speedup: Optional[float] = None
+    #: Whole-program speedup reported in the literature (× or None).
+    lit_overall_speedup: Optional[float] = None
+    technique: str = ""
+
+
+@dataclass
+class Benchmark:
+    """One benchmark program with evaluation metadata."""
+
+    name: str
+    suite: str  # "npb" | "plds"
+    source: str
+    description: str = ""
+    entry: str = "main"
+    #: Expert ground truth: label -> parallelizable?
+    ground_truth: Dict[str, bool] = field(default_factory=dict)
+    #: Loops parallelized by the expert reference implementation.
+    expert_loops: List[str] = field(default_factory=list)
+    #: Fraction of remaining serial time expert restructuring parallelizes.
+    expert_extra_fraction: float = 0.0
+    table2: Optional[Table2Info] = None
+    #: Float tolerance for live-out comparison (FP reductions reorder).
+    rtol: float = 1e-6
+    #: The DCA live-out policy appropriate for this program ("strict"
+    #: unless transient worklist ordering must be relaxed).
+    liveout_policy: str = "strict"
+
+    _module: Optional[Module] = field(default=None, repr=False)
+
+    def compile(self, fresh: bool = False) -> Module:
+        """Compile (and cache) the program."""
+        if fresh:
+            return compile_program(self.source)
+        if self._module is None:
+            self._module = compile_program(self.source)
+        return self._module
+
+    def loop_labels(self) -> List[str]:
+        return self.compile().all_loop_labels()
+
+    def validate(self) -> List[str]:
+        """Metadata consistency problems (empty when clean)."""
+        problems: List[str] = []
+        labels = set(self.loop_labels())
+        for label in self.ground_truth:
+            if label not in labels:
+                problems.append(f"ground_truth references unknown loop {label}")
+        for label in self.expert_loops:
+            if label not in labels:
+                problems.append(f"expert_loops references unknown loop {label}")
+        if self.table2 and self.table2.kernel_label not in labels:
+            problems.append(
+                f"table2 references unknown loop {self.table2.kernel_label}"
+            )
+        return problems

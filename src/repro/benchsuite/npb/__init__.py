@@ -1,0 +1,16 @@
+"""MiniC ports of the ten NPB-style kernels (paper Tables I/III/IV)."""
+
+from repro.benchsuite.npb.bt import BT
+from repro.benchsuite.npb.cg import CG
+from repro.benchsuite.npb.dc import DC
+from repro.benchsuite.npb.ep import EP
+from repro.benchsuite.npb.ft import FT
+from repro.benchsuite.npb.is_ import IS
+from repro.benchsuite.npb.lu import LU
+from repro.benchsuite.npb.mg import MG
+from repro.benchsuite.npb.sp import SP
+from repro.benchsuite.npb.ua import UA
+
+NPB_BENCHMARKS = (BT, CG, DC, EP, FT, IS, LU, MG, SP, UA)
+
+__all__ = ["BT", "CG", "DC", "EP", "FT", "IS", "LU", "MG", "NPB_BENCHMARKS", "SP", "UA"]

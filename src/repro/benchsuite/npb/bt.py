@@ -1,0 +1,96 @@
+"""BT — Block Tridiagonal solver sweep.
+
+Dense 5-point line relaxations in x/y directions on a flattened 2-D grid,
+with per-line tridiagonal forward/back substitutions (serial inner
+recurrences inside parallel outer line loops) and helper functions for the
+flux computation (defeats SCoP tools; the paper credits DCA's BT score to
+loops "spanning many lines of code, containing function calls").
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// BT: alternating-direction line solver on an NxN grid (flattened).
+int N = 22;
+
+func float flux(float a, float b, float c) {
+  return 0.25 * (a + b) - 0.125 * c;
+}
+
+func void main() {
+  float[] u = new float[484];
+  float[] rhsv = new float[484];
+  float[] tmp = new float[484];
+
+  // L0: initialize grid (2-D map via flattening).
+  for (int i = 0; i < 22; i = i + 1) {
+    // L1: inner column init.
+    for (int j = 0; j < 22; j = j + 1) {
+      u[i * 22 + j] = sin(to_float(i) * 0.3) * cos(to_float(j) * 0.2);
+      rhsv[i * 22 + j] = 0.01 * to_float(i + j);
+    }
+  }
+
+  // L2: time steps (sequential: step-dependent forcing).
+  for (int step = 0; step < 2; step = step + 1) {
+    rhsv[23] = rhsv[23] * 0.9 + to_float(step) * 0.01 + 0.003;
+    // L3: x-direction line solve — independent lines with helper calls.
+    for (int i = 1; i < 21; i = i + 1) {
+      // L4: forward elimination along the line (serial recurrence).
+      for (int j = 1; j < 21; j = j + 1) {
+        tmp[i * 22 + j] = flux(u[i * 22 + j - 1], u[i * 22 + j + 1],
+                               u[i * 22 + j])
+                        + 0.4 * tmp[i * 22 + j - 1] + rhsv[i * 22 + j];
+      }
+      // L5: back substitution (serial recurrence, reverse order).
+      for (int j = 19; j > 0; j = j - 1) {
+        tmp[i * 22 + j] = tmp[i * 22 + j] - 0.2 * tmp[i * 22 + j + 1];
+      }
+    }
+    // L6: y-direction update — independent columns with helper calls.
+    for (int j = 1; j < 21; j = j + 1) {
+      // L7: column sweep reading tmp, writing u (map per cell).
+      for (int i = 1; i < 21; i = i + 1) {
+        u[i * 22 + j] = u[i * 22 + j]
+                      + flux(tmp[(i - 1) * 22 + j], tmp[(i + 1) * 22 + j],
+                             tmp[i * 22 + j]);
+      }
+    }
+    // L8: boundary condition refresh (map over the rim).
+    for (int i = 0; i < 22; i = i + 1) {
+      u[i * 22] = u[i * 22 + 1] * 0.5;
+      u[i * 22 + 21] = u[i * 22 + 20] * 0.5;
+    }
+  }
+
+  // L9: solution norms (reductions).
+  float norm = 0.0;
+  float amax = -1000000.0;
+  for (int k = 0; k < 484; k = k + 1) {
+    norm = norm + u[k] * u[k];
+    if (u[k] > amax) { amax = u[k]; }
+  }
+  print("BT", norm, amax, u[23], tmp[23]);
+}
+"""
+
+BT = Benchmark(
+    name="BT",
+    suite="npb",
+    source=SOURCE,
+    description="Alternating-direction block line solver",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": True,
+        "main.L2": False,  # time stepping
+        "main.L3": True,   # independent lines
+        "main.L4": False,  # forward elimination recurrence
+        "main.L5": False,  # back substitution recurrence
+        "main.L6": True,   # independent columns
+        "main.L7": True,
+        "main.L8": True,
+        "main.L9": True,
+    },
+    expert_loops=["main.L3", "main.L6", "main.L8", "main.L9", "main.L0"],
+    expert_extra_fraction=0.0,
+)

@@ -1,0 +1,117 @@
+"""CG — Conjugate Gradient (sparse matrix-vector products + dot products).
+
+Sparse matvec rows are independent (gather through CSR indices — beyond
+static subscript analysis, found by the dynamic tools and DCA); dot
+products are reductions; the solver's vector updates are maps; the
+iteration loop itself and the CSR construction carry true dependences.
+CG in the paper has a comparatively high share of loops nobody detects.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// CG: conjugate-gradient style iterations on a sparse banded matrix.
+int N = 64;
+int NNZ = 192;
+
+func void main() {
+  int[] rowptr = new int[65];
+  int[] colidx = new int[192];
+  float[] aval = new float[192];
+  float[] x = new float[64];
+  float[] r = new float[64];
+  float[] p = new float[64];
+  float[] q = new float[64];
+
+  // L0: CSR construction — running nonzero cursor (serial).
+  int pos = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    rowptr[i] = pos;
+    colidx[pos] = i; aval[pos] = 4.0; pos = pos + 1;
+    colidx[pos] = (i + 1) % 64; aval[pos] = -1.0; pos = pos + 1;
+    if (i % 2 == 0) {
+      colidx[pos] = (i + 63) % 64; aval[pos] = -1.0; pos = pos + 1;
+    }
+  }
+  rowptr[64] = pos;
+
+  // L1: initialize vectors (map).
+  for (int i = 0; i < 64; i = i + 1) {
+    x[i] = 0.0;
+    r[i] = 1.0 + to_float(i % 7) * 0.25;
+    p[i] = r[i];
+  }
+
+  float rho = 0.0;
+  // L2: initial dot product (reduction).
+  for (int i = 0; i < 64; i = i + 1) {
+    rho = rho + r[i] * r[i];
+  }
+
+  // L3: CG iterations — each depends on the previous (serial).
+  for (int it = 0; it < 3; it = it + 1) {
+    // L4: sparse matvec q = A*p — independent rows, indirect gather.
+    for (int i = 0; i < 64; i = i + 1) {
+      float sum = 0.0;
+      // L5: row accumulation (reduction over the row's nonzeros).
+      for (int e = rowptr[i]; e < rowptr[i + 1]; e = e + 1) {
+        sum = sum + aval[e] * p[colidx[e]];
+      }
+      q[i] = sum;
+    }
+    float dpq = 0.0;
+    // L6: dot product p.q (reduction).
+    for (int i = 0; i < 64; i = i + 1) {
+      dpq = dpq + p[i] * q[i];
+    }
+    // Step-dependent damping: iterations are genuinely ordered.
+    float alpha = rho / (dpq + 0.000001) * (1.0 - 0.05 * to_float(it));
+    float rho_new = 0.0;
+    // L7: vector update + residual reduction.
+    for (int i = 0; i < 64; i = i + 1) {
+      x[i] = x[i] + alpha * p[i];
+      r[i] = r[i] - alpha * q[i];
+      rho_new = rho_new + r[i] * r[i];
+    }
+    float beta = rho_new / (rho + 0.000001);
+    // L8: direction update (map using scalar beta).
+    for (int i = 0; i < 64; i = i + 1) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rho = rho_new;
+  }
+
+  // L9: solution norm (reduction).
+  float xnorm = 0.0;
+  for (int i = 0; i < 64; i = i + 1) {
+    xnorm = xnorm + x[i] * x[i];
+  }
+  // L10: smoothing sweep with loop-carried stencil (serial Gauss-Seidel).
+  for (int i = 1; i < 64; i = i + 1) {
+    x[i] = (x[i] + x[i - 1]) * 0.5;
+  }
+  print("CG", rho, xnorm, x[0], x[63]);
+}
+"""
+
+CG = Benchmark(
+    name="CG",
+    suite="npb",
+    source=SOURCE,
+    description="Conjugate gradient with sparse matvec",
+    ground_truth={
+        "main.L0": False,  # CSR cursor recurrence
+        "main.L1": True,
+        "main.L2": True,
+        "main.L3": False,  # solver iterations are sequential
+        "main.L4": True,   # independent sparse rows
+        "main.L5": True,   # row reduction
+        "main.L6": True,
+        "main.L7": True,
+        "main.L8": True,
+        "main.L9": True,
+        "main.L10": False,  # Gauss-Seidel recurrence
+    },
+    expert_loops=["main.L4", "main.L6", "main.L7", "main.L8", "main.L2", "main.L9"],
+    expert_extra_fraction=0.25,
+)

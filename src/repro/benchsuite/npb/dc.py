@@ -1,0 +1,95 @@
+"""DC — Data Cube: aggregation views over a synthetic fact table.
+
+DC is the paper's I/O-bound outlier: it emits every aggregate view row
+(modelled by ``print`` inside the view loops), so most loops are excluded
+from DCA's candidate set (§IV-E) and parallelization buys nothing
+(Fig. 6: DC ≈ 1×).  Only the in-memory preparation loops are detectable.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// DC: group-by aggregations over a synthetic fact table, views printed.
+int NROWS = 160;
+int NDIM0 = 8;
+int NDIM1 = 6;
+
+func int mix(int s) {
+  int v = (s * 1664525 + 1013904223) % 2147483648;
+  if (v < 0) { return -v; }
+  return v;
+}
+
+func void main() {
+  int[] d0 = new int[160];
+  int[] d1 = new int[160];
+  int[] measure = new int[160];
+
+  // L0: synthesize the fact table (seed recurrence, serial).
+  int seed = 20071003;
+  for (int r = 0; r < 160; r = r + 1) {
+    seed = mix(seed);
+    d0[r] = seed % 8;
+    seed = mix(seed);
+    d1[r] = seed % 6;
+    measure[r] = (d0[r] + 1) * (d1[r] + 2);
+  }
+
+  // L1: view (d0) — group-by aggregation (histogram).
+  int[] view0 = new int[8];
+  for (int r = 0; r < 160; r = r + 1) {
+    view0[d0[r]] += measure[r];
+  }
+  // L2: view (d1) — group-by aggregation (histogram).
+  int[] view1 = new int[6];
+  for (int r = 0; r < 160; r = r + 1) {
+    view1[d1[r]] += measure[r];
+  }
+  // L3: view (d0,d1) — flattened 2-D histogram.
+  int[] view01 = new int[48];
+  for (int r = 0; r < 160; r = r + 1) {
+    view01[d0[r] * 6 + d1[r]] += measure[r];
+  }
+
+  // L4: emit view (d0) — I/O loop, excluded from DCA candidates.
+  for (int k = 0; k < 8; k = k + 1) {
+    print("v0", k, view0[k]);
+  }
+  // L5: emit view (d1) — I/O loop.
+  for (int k = 0; k < 6; k = k + 1) {
+    print("v1", k, view1[k]);
+  }
+  // L6: emit the cube — nested I/O loops (L7 inner).
+  for (int a = 0; a < 8; a = a + 1) {
+    for (int b = 0; b < 6; b = b + 1) {
+      print("v01", a, b, view01[a * 6 + b]);
+    }
+  }
+  // L8: grand total (reduction).
+  int total = 0;
+  for (int k = 0; k < 48; k = k + 1) {
+    total = total + view01[k];
+  }
+  print("DC", total);
+}
+"""
+
+DC = Benchmark(
+    name="DC",
+    suite="npb",
+    source=SOURCE,
+    description="Data-cube aggregation views with per-row output",
+    ground_truth={
+        "main.L0": False,  # seed recurrence
+        "main.L1": True,   # histogram
+        "main.L2": True,
+        "main.L3": True,
+        "main.L4": True,   # parallelizable in principle, but I/O-ordered
+        "main.L5": True,
+        "main.L6": True,
+        "main.L7": True,
+        "main.L8": True,
+    },
+    expert_loops=["main.L1", "main.L2", "main.L3"],
+    expert_extra_fraction=0.4,
+)

@@ -1,0 +1,101 @@
+"""EP — Embarrassingly Parallel (pseudo-random trial tallies).
+
+A scaled-down analogue of NPB EP: a hot two-level loop nest evaluates an
+integral via pseudo-random trials.  The outer trial loop is a floating
+point + histogram reduction (paper §V-C2: parallelizing it yields EP's
+headline near-linear speedup); the inner pair-generation loop carries the
+RNG seed and is inherently serial.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// EP: integral evaluation via pseudo-random trials.
+int NK = 144;      // number of trials (outer parallel loop)
+int NQ = 10;       // tally bins
+
+func int lcg(int s) {
+  int v = (s * 1103515245 + 12345) % 2147483648;
+  if (v < 0) { return -v; }
+  return v;
+}
+
+func float to_unit(int s) {
+  return to_float(s % 1000000) / 1000000.0;
+}
+
+func void main() {
+  float[] q = new float[10];
+  float[] gauss = new float[144];
+  // L0: tally initialization (simple affine map).
+  for (int l = 0; l < 10; l = l + 1) {
+    q[l] = 0.0;
+  }
+  float sx = 0.0;
+  float sy = 0.0;
+  // L1: hot trial loop — float reductions + tally histogram.
+  for (int k = 0; k < 144; k = k + 1) {
+    int seed = 271828183 + k * 2654435761;
+    float tx = 0.0;
+    float ty = 0.0;
+    int accepted = 0;
+    // L2: pair generation — RNG seed carried across iterations (serial).
+    for (int j = 0; j < 24; j = j + 1) {
+      seed = lcg(seed);
+      float x = 2.0 * to_unit(seed) - 1.0;
+      seed = lcg(seed);
+      float y = 2.0 * to_unit(seed) - 1.0;
+      float t = x * x + y * y;
+      if (t <= 1.0) {
+        float f = sqrt(-2.0 * log(t + 0.0000001) / (t + 0.0000001));
+        tx = tx + x * f;
+        ty = ty + y * f;
+        accepted = accepted + 1;
+      }
+    }
+    gauss[k] = tx + ty;
+    int bin = accepted % 10;
+    q[bin] += 1.0;
+    sx += tx;
+    sy += ty;
+  }
+  // L3: tally reduction (scalar sum).
+  float qsum = 0.0;
+  for (int l = 0; l < 10; l = l + 1) {
+    qsum = qsum + q[l];
+  }
+  // L4: maximum deviation (conditional max reduction).
+  float gmax = -1000000.0;
+  for (int k = 0; k < 144; k = k + 1) {
+    if (gauss[k] > gmax) { gmax = gauss[k]; }
+  }
+  // L5: running compensation — genuine cross-iteration recurrence.
+  float[] comp = new float[144];
+  comp[0] = gauss[0];
+  for (int k = 1; k < 144; k = k + 1) {
+    comp[k] = comp[k - 1] * 0.5 + gauss[k];
+  }
+  print("EP", sx, sy, qsum, gmax, comp[143]);
+}
+"""
+
+EP = Benchmark(
+    name="EP",
+    suite="npb",
+    source=SOURCE,
+    description="Embarrassingly parallel pseudo-random trials",
+    ground_truth={
+        "main.L0": True,   # map
+        "main.L1": True,   # trial loop: reductions + histogram
+        # L2's iterations are literally identical computations (the body
+        # never reads j), so reordering them provably preserves the outcome:
+        # commutative, though only exploitable with seed skip-ahead.
+        "main.L2": True,
+        "main.L3": True,   # sum reduction
+        "main.L4": True,   # max reduction
+        "main.L5": False,  # linear recurrence
+    },
+    expert_loops=["main.L1"],
+    expert_extra_fraction=0.0,
+    rtol=1e-6,
+)

@@ -1,0 +1,96 @@
+"""FT — spectral analysis via per-bin Goertzel recurrences.
+
+NPB FT's hot path (FFT butterflies over transposed pencils) resists
+simple loop parallelization: here the transform is a handful of Goertzel
+filters, each an inherently serial second-order recurrence over the whole
+signal, so DCA's loop-level scheme extracts only the few-way bin
+parallelism while the expert version restructures the whole computation
+(paper §V-E: "DC and FT are largely restructured to take advantage of
+independent work-sharing").
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// FT: Goertzel-filter spectral probes on an evolving signal.
+int N = 96;
+int NBINS = 4;
+
+func float goertzel_coeff(int k, int size) {
+  float pi = 3.14159265358979;
+  return 2.0 * cos(2.0 * pi * to_float(k) / to_float(size));
+}
+
+func void main() {
+  float[] signal = new float[96];
+  float[] power = new float[4];
+  int[] bins = new int[4];
+
+  // L0: pick the probe frequencies (map).
+  for (int b = 0; b < 4; b = b + 1) {
+    bins[b] = b * 7 + 3;
+  }
+  // L1: initialize the signal (map with pure calls).
+  for (int i = 0; i < 96; i = i + 1) {
+    signal[i] = sin(to_float(i) * 0.37) + 0.5 * cos(to_float(i) * 0.11);
+  }
+
+  // L2: time evolution steps (sequential).
+  for (int t = 0; t < 3; t = t + 1) {
+    // L3: per-bin Goertzel filters — independent bins, but only 4-way
+    // parallelism; each filter is a serial recurrence (L4).
+    for (int b = 0; b < 4; b = b + 1) {
+      float coeff = goertzel_coeff(bins[b], 96);
+      float s0 = 0.0;
+      float s1 = 0.0;
+      float s2 = 0.0;
+      // L4: the Goertzel recurrence over the whole signal (serial).
+      for (int i = 0; i < 96; i = i + 1) {
+        s0 = signal[i] + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+      }
+      power[b] = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    }
+    // L5: evolve the signal using the measured power (map).
+    float total = power[0] + power[1] + power[2] + power[3];
+    for (int i = 0; i < 96; i = i + 1) {
+      signal[i] = signal[i] * 0.98
+                + 0.0001 * total * sin(to_float(i + t) * 0.21);
+    }
+  }
+
+  // L6: checksum (reduction).
+  float chk = 0.0;
+  for (int i = 0; i < 96; i = i + 1) {
+    chk = chk + signal[i] * signal[i];
+  }
+  // L7: cumulative phase walk (serial recurrence).
+  float phase = 0.0;
+  for (int i = 1; i < 96; i = i + 1) {
+    phase = phase * 0.9 + signal[i] * signal[i - 1];
+  }
+  print("FT", chk, phase, power[0], power[3]);
+}
+"""
+
+FT = Benchmark(
+    name="FT",
+    suite="npb",
+    source=SOURCE,
+    description="Goertzel spectral probes with time evolution",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": True,
+        "main.L2": False,  # time steps are sequential
+        "main.L3": True,   # independent bins (only 4-way)
+        "main.L4": False,  # Goertzel recurrence
+        "main.L5": True,
+        "main.L6": True,
+        "main.L7": False,  # phase recurrence
+    },
+    expert_loops=["main.L3", "main.L5", "main.L6"],
+    # The expert FT restructures the transform itself (work sharing across
+    # the whole pipeline), far beyond the 4-way bin parallelism.
+    expert_extra_fraction=0.85,
+)

@@ -1,0 +1,97 @@
+"""IS — Integer Sort (bucket/counting sort).
+
+Histogram construction (key counting), a prefix-sum rank computation
+(inherently serial), and a scatter phase writing each key to its rank.
+The histogram is IDIOMS/DiscoPoP territory; the scatter has disjoint but
+non-affine targets, so only the dynamic tools and DCA see it is parallel.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// IS: counting sort of pseudo-random keys.
+int NKEYS = 256;
+int MAXKEY = 64;
+
+func int next_key(int s) {
+  int v = (s * 69069 + 1327217885) % 2147483648;
+  if (v < 0) { return -v; }
+  return v;
+}
+
+func void main() {
+  int[] keys = new int[256];
+  int[] hist = new int[64];
+  int[] rank = new int[64];
+  int[] sorted = new int[256];
+
+  // L0: key generation — seed recurrence (serial).
+  int seed = 314159265;
+  for (int i = 0; i < 256; i = i + 1) {
+    seed = next_key(seed);
+    keys[i] = seed % 64;
+  }
+  // L1: clear histogram (map).
+  for (int k = 0; k < 64; k = k + 1) {
+    hist[k] = 0;
+  }
+  // L2: key counting — histogram update.
+  for (int i = 0; i < 256; i = i + 1) {
+    hist[keys[i]] += 1;
+  }
+  // L3: exclusive prefix sum of ranks (serial recurrence).
+  int run = 0;
+  for (int k = 0; k < 64; k = k + 1) {
+    rank[k] = run;
+    run = run + hist[k];
+  }
+  // L4: scatter each key to its final position — disjoint writes through
+  // a dynamically updated cursor array (defeats static analysis; the
+  // per-iteration target depends on the mutated cursor, so it is a
+  // genuine cross-iteration dependence chain per bucket).
+  int[] cursor = new int[64];
+  for (int k = 0; k < 64; k = k + 1) {
+    cursor[k] = rank[k];
+  }
+  for (int i = 0; i < 256; i = i + 1) {
+    int key = keys[i];
+    sorted[cursor[key]] = key;
+    cursor[key] += 1;
+  }
+  // L6: verification — count in-order adjacent pairs (reduction).
+  int ordered = 0;
+  for (int i = 1; i < 256; i = i + 1) {
+    if (sorted[i - 1] <= sorted[i]) {
+      ordered += 1;
+    }
+  }
+  // L7: checksum of histogram (reduction with pure call).
+  int hsum = 0;
+  for (int k = 0; k < 64; k = k + 1) {
+    hsum = hsum + hist[k] * (k + 1);
+  }
+  print("IS", ordered, hsum, sorted[0], sorted[255], rank[63]);
+}
+"""
+
+IS = Benchmark(
+    name="IS",
+    suite="npb",
+    source=SOURCE,
+    description="Integer counting sort",
+    ground_truth={
+        "main.L0": False,  # RNG seed recurrence feeding the key array
+        "main.L1": True,   # map
+        "main.L2": True,   # histogram (parallel with atomics)
+        "main.L3": False,  # prefix sum
+        "main.L4": True,   # cursor init map
+        # L5 writes each key's own value into its bucket region: any order
+        # yields identical memory (parallelizable with atomic fetch-add on
+        # the cursors) — commutative despite the dependence chain.
+        "main.L5": True,
+        "main.L6": True,   # reduction
+        "main.L7": True,   # reduction
+    },
+    expert_loops=["main.L2", "main.L6", "main.L7"],
+    expert_extra_fraction=0.35,
+)

@@ -1,0 +1,96 @@
+"""LU — SSOR-style lower/upper sweeps.
+
+LU's hot loops carry wavefront dependences across function calls (the
+paper: "LU contains dependences across hot function calls", which is why
+its high detection count does not translate into loop-level speedup).
+Here the lower/upper triangular sweeps are genuine diagonal recurrences,
+while the flux/rhs preparation loops are parallel maps with calls.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// LU: SSOR sweeps over a flattened grid with helper functions.
+int N = 20;
+
+func float jac(float c, float n, float w) {
+  return 0.6 * c + 0.2 * (n + w);
+}
+
+func float src_term(int i, int j) {
+  return 0.05 * to_float(i) - 0.03 * to_float(j);
+}
+
+func void main() {
+  float[] u = new float[400];
+  float[] rsd = new float[400];
+
+  // L0/L1: initialization (nested maps with a pure call).
+  for (int i = 0; i < 20; i = i + 1) {
+    for (int j = 0; j < 20; j = j + 1) {
+      u[i * 20 + j] = 0.1 * to_float(i % 5) + 0.05 * to_float(j % 7);
+      rsd[i * 20 + j] = src_term(i, j);
+    }
+  }
+
+  // L2: SSOR iterations (sequential: iteration-dependent relaxation).
+  for (int it = 0; it < 2; it = it + 1) {
+    rsd[0] = rsd[0] * 0.9 + to_float(it) * 0.01 + 0.002;
+    // L3/L4: lower-triangular sweep — wavefront recurrence via jac().
+    for (int i = 1; i < 20; i = i + 1) {
+      for (int j = 1; j < 20; j = j + 1) {
+        u[i * 20 + j] = jac(u[i * 20 + j], u[(i - 1) * 20 + j],
+                            u[i * 20 + j - 1]) + 0.1 * rsd[i * 20 + j];
+      }
+    }
+    // L5/L6: upper-triangular sweep — reverse wavefront recurrence.
+    for (int i = 18; i > 0; i = i - 1) {
+      for (int j = 18; j > 0; j = j - 1) {
+        u[i * 20 + j] = jac(u[i * 20 + j], u[(i + 1) * 20 + j],
+                            u[i * 20 + j + 1]);
+      }
+    }
+    // L7/L8: residual refresh (parallel map with calls).
+    for (int i = 1; i < 19; i = i + 1) {
+      for (int j = 1; j < 19; j = j + 1) {
+        rsd[i * 20 + j] = src_term(i, j) - 0.01 * u[i * 20 + j];
+      }
+    }
+  }
+
+  // L9: residual norm (reduction).
+  float rnorm = 0.0;
+  for (int k = 0; k < 400; k = k + 1) {
+    rnorm = rnorm + rsd[k] * rsd[k];
+  }
+  // L10: solution checksum on the diagonal (gather reduction).
+  float diag = 0.0;
+  for (int i = 0; i < 20; i = i + 1) {
+    diag = diag + u[i * 20 + i];
+  }
+  print("LU", rnorm, diag, u[21], rsd[21]);
+}
+"""
+
+LU = Benchmark(
+    name="LU",
+    suite="npb",
+    source=SOURCE,
+    description="SSOR lower/upper wavefront sweeps",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": True,
+        "main.L2": False,  # SSOR iterations sequential
+        "main.L3": False,  # lower wavefront
+        "main.L4": False,
+        "main.L5": False,  # upper wavefront
+        "main.L6": False,
+        "main.L7": True,
+        "main.L8": True,
+        "main.L9": True,
+        "main.L10": True,
+    },
+    expert_loops=["main.L7", "main.L9", "main.L0", "main.L10"],
+    # The expert LU uses pipelined wavefront parallelism for the sweeps.
+    expert_extra_fraction=0.55,
+)

@@ -1,0 +1,102 @@
+"""MG — Multigrid-style smoothing with V-cycle restriction/prolongation.
+
+Jacobi smoothing sweeps (parallel maps over distinct read/write arrays),
+restriction and prolongation between grid levels, plus MG's quirks from
+the paper (§V-C1): nested loops containing I/O (excluded by DCA's
+selection step) and loops the workload never exercises.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// MG: two-level multigrid smoothing on a 1-D grid.
+int NF = 96;
+int NC = 48;
+int DEBUG = 0;
+
+func void main() {
+  float[] u = new float[96];
+  float[] v = new float[96];
+  float[] rhs = new float[96];
+  float[] cu = new float[48];
+  float[] crhs = new float[48];
+
+  // L0: setup (map).
+  for (int i = 0; i < 96; i = i + 1) {
+    u[i] = 0.0;
+    rhs[i] = sin(to_float(i) * 0.21);
+  }
+
+  // L1: V-cycle iterations (sequential).
+  for (int cyc = 0; cyc < 3; cyc = cyc + 1) {
+    // L2: Jacobi smoothing into v (stencil map, disjoint arrays).
+    for (int i = 1; i < 95; i = i + 1) {
+      v[i] = (u[i - 1] + u[i + 1] + rhs[i]) * 0.5;
+    }
+    // L3: copy back (map).
+    for (int i = 1; i < 95; i = i + 1) {
+      u[i] = v[i];
+    }
+    // L4: restriction to the coarse grid (strided gather map).
+    for (int c = 1; c < 47; c = c + 1) {
+      crhs[c] = rhs[2 * c] - u[2 * c] + 0.25 * (u[2 * c - 1] + u[2 * c + 1]);
+      cu[c] = 0.0;
+    }
+    // L5: coarse smoothing — Gauss-Seidel (serial recurrence).
+    for (int c = 1; c < 47; c = c + 1) {
+      cu[c] = (cu[c - 1] + crhs[c]) * 0.6;
+    }
+    // L6: prolongation back to the fine grid (strided scatter map).
+    for (int c = 1; c < 47; c = c + 1) {
+      u[2 * c] = u[2 * c] + cu[c];
+      u[2 * c + 1] = u[2 * c + 1] + 0.5 * cu[c];
+    }
+    // L7: debug trace — I/O inside a nested loop (DCA excludes it).
+    if (DEBUG > 0) {
+      for (int i = 0; i < 96; i = i + 1) {
+        print("u", i, u[i]);
+      }
+    }
+  }
+
+  // L8: residual norm (reduction).
+  float rnorm = 0.0;
+  for (int i = 1; i < 95; i = i + 1) {
+    float res = rhs[i] - (u[i] - 0.5 * (u[i - 1] + u[i + 1]));
+    rnorm = rnorm + res * res;
+  }
+  // L9: not exercised under the default workload (DEBUG == 0).
+  float extra = 0.0;
+  for (int i = 0; i < DEBUG; i = i + 1) {
+    extra = extra + u[i];
+  }
+  // L10: max residual location (conditional max).
+  float umax = -1000000.0;
+  for (int i = 0; i < 96; i = i + 1) {
+    if (u[i] > umax) { umax = u[i]; }
+  }
+  print("MG", rnorm, umax, extra, u[48]);
+}
+"""
+
+MG = Benchmark(
+    name="MG",
+    suite="npb",
+    source=SOURCE,
+    description="Two-level multigrid smoothing",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": False,  # V-cycles sequential
+        "main.L2": True,
+        "main.L3": True,
+        "main.L4": True,
+        "main.L5": False,  # Gauss-Seidel
+        "main.L6": True,
+        "main.L7": True,   # parallel, but contains I/O (excluded by DCA)
+        "main.L8": True,
+        "main.L9": True,   # trivially parallel, never exercised
+        "main.L10": True,
+    },
+    expert_loops=["main.L2", "main.L3", "main.L4", "main.L6", "main.L8"],
+    expert_extra_fraction=0.3,
+)

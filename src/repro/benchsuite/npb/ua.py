@@ -1,0 +1,123 @@
+"""UA — Unstructured Adaptive mesh kernel.
+
+UA's signature is irregular, indirection-heavy loops: element-to-node
+gathers/scatters through mesh index arrays, coloring-based disjoint
+updates, and adaptive refinement bookkeeping.  Static subscript analysis
+is blind here (paper Table III: combined static 44% vs DCA 97%), while
+profiling shows the accesses are disjoint.
+"""
+
+from repro.benchsuite.base import Benchmark
+
+SOURCE = """
+// UA: unstructured mesh smoothing with indirection arrays.
+int NELEM = 60;
+int NNODE = 64;
+
+func void main() {
+  int[] en0 = new int[60];
+  int[] en1 = new int[60];
+  float[] node = new float[64];
+  float[] elem = new float[60];
+  float[] flux = new float[60];
+  int[] color = new int[60];
+
+  // L0: build element-to-node connectivity (affine writes, disjoint).
+  for (int e = 0; e < 60; e = e + 1) {
+    en0[e] = e % 16;
+    en1[e] = (e * 7 + 3) % 64;
+    color[e] = e % 2;
+  }
+  // L1: node field init (map).
+  for (int n = 0; n < 64; n = n + 1) {
+    node[n] = sin(to_float(n) * 0.4);
+  }
+
+  // L2: smoothing passes (sequential: pass-dependent boundary kick).
+  for (int pass = 0; pass < 3; pass = pass + 1) {
+    node[0] = node[0] * 0.9 + to_float(pass) * 0.02 + 0.005;
+    // L3: element gather — indirect reads, disjoint writes (parallel,
+    // beyond static subscript analysis).
+    for (int e = 0; e < 60; e = e + 1) {
+      elem[e] = 0.5 * (node[en0[e]] + node[en1[e]]);
+    }
+    // L4: flux with conditional control flow (parallel).
+    for (int e = 0; e < 60; e = e + 1) {
+      if (elem[e] > 0.0) {
+        flux[e] = elem[e] * 0.9;
+      } else {
+        flux[e] = elem[e] * 1.1;
+      }
+    }
+    // L5: scatter to nodes through en0 — colliding indices (elements
+    // sharing a node): a genuine cross-iteration dependence unless
+    // treated as a histogram-style atomic update.
+    for (int e = 0; e < 60; e = e + 1) {
+      node[en0[e]] += flux[e] * 0.05;
+    }
+    // L6: even-color scatter through en1 — collision-free by coloring
+    // under this mesh (dynamically disjoint; statics cannot prove it).
+    for (int e = 0; e < 60; e = e + 2) {
+      node[en1[e]] = node[en1[e]] * 0.999;
+    }
+  }
+
+  // L7: adaptive refinement marking (map with conditional).
+  int[] refine = new int[60];
+  for (int e = 0; e < 60; e = e + 1) {
+    if (flux[e] > 0.4) {
+      refine[e] = 1;
+    } else {
+      refine[e] = 0;
+    }
+  }
+  // L8: refinement count (reduction).
+  int nref = 0;
+  for (int e = 0; e < 60; e = e + 1) {
+    nref = nref + refine[e];
+  }
+  // L9: compaction of refined element ids (cursor recurrence, serial).
+  int[] reflist = new int[60];
+  int cur = 0;
+  for (int e = 0; e < 60; e = e + 1) {
+    if (refine[e] == 1) {
+      reflist[cur] = e;
+      cur = cur + 1;
+    }
+  }
+  // L10: node norm (reduction).
+  float nnorm = 0.0;
+  for (int n = 0; n < 64; n = n + 1) {
+    nnorm = nnorm + node[n] * node[n];
+  }
+  // L11: element max (conditional max reduction).
+  float emax = -1000000.0;
+  for (int e = 0; e < 60; e = e + 1) {
+    if (elem[e] > emax) { emax = elem[e]; }
+  }
+  print("UA", nref, nnorm, emax, cur, reflist[0]);
+}
+"""
+
+UA = Benchmark(
+    name="UA",
+    suite="npb",
+    source=SOURCE,
+    description="Unstructured adaptive mesh smoothing",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": True,
+        "main.L2": False,  # smoothing passes sequential
+        "main.L3": True,   # indirect gather, disjoint writes
+        "main.L4": True,
+        "main.L5": True,   # scatter-add: parallel with atomics (histogram)
+        "main.L6": True,   # color-disjoint scatter
+        "main.L7": True,
+        "main.L8": True,
+        "main.L9": False,  # compaction cursor
+        "main.L10": True,
+        "main.L11": True,
+    },
+    expert_loops=["main.L3", "main.L4", "main.L5", "main.L6", "main.L10", "main.L8"],
+    expert_extra_fraction=0.2,
+)

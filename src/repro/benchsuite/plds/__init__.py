@@ -1,0 +1,30 @@
+"""MiniC ports of the 14 PLDS programs of paper Table II."""
+
+from repro.benchsuite.plds.bfs import BFS
+from repro.benchsuite.plds.bh import BH
+from repro.benchsuite.plds.em3d import EM3D
+from repro.benchsuite.plds.hash import HASH
+from repro.benchsuite.plds.ising import ISING
+from repro.benchsuite.plds.ks import KS
+from repro.benchsuite.plds.mcf import MCF
+from repro.benchsuite.plds.mst import MST
+from repro.benchsuite.plds.otter import OTTER
+from repro.benchsuite.plds.perimeter import PERIMETER
+from repro.benchsuite.plds.spmatmat import SPMATMAT
+from repro.benchsuite.plds.treeadd import TREEADD
+from repro.benchsuite.plds.twolf import TWOLF
+from repro.benchsuite.plds.water import WATER
+
+PLDS_BENCHMARKS = (
+    MCF, TWOLF, KS, OTTER, EM3D, MST, BH, PERIMETER,
+    TREEADD, HASH, BFS, ISING, SPMATMAT, WATER,
+)
+
+#: The subset shown in the paper's Fig. 5 speedup chart.
+FIG5_BENCHMARKS = (TREEADD, PERIMETER, WATER, KS, SPMATMAT, BFS, ISING)
+
+__all__ = [
+    "BFS", "BH", "EM3D", "FIG5_BENCHMARKS", "HASH", "ISING", "KS", "MCF",
+    "MST", "OTTER", "PERIMETER", "PLDS_BENCHMARKS", "SPMATMAT", "TREEADD",
+    "TWOLF", "WATER",
+]

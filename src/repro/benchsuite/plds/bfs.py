@@ -1,0 +1,122 @@
+"""BFS (Lonestar) — the paper's Fig. 2 motivating example.
+
+Worklist-driven breadth-first search.  The frontier is a linked worklist
+(pop feeds the loop condition through memory — profile-guided iterator
+recognition territory); the next frontier is a *bag*: a membership-flag
+array plus count, whose state is insertion-order-insensitive, so the
+top-down step passes even strict live-out verification (the Galois-style
+unordered-worklist formulation).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Node { int vert; Node* next; }
+struct WorkList { int size; Node* head; }
+
+int NV = 160;
+
+func void push(WorkList* wl, int v) {
+  Node* n = new Node;
+  n->vert = v;
+  n->next = wl->head;
+  wl->head = n;
+  wl->size = wl->size + 1;
+}
+
+func int pop(WorkList* wl) {
+  Node* n = wl->head;
+  wl->head = n->next;
+  wl->size = wl->size - 1;
+  return n->vert;
+}
+
+func void main() {
+  int[] adj_off = new int[161];
+  int[] adj = new int[640];
+  // L0: build a ring-with-chords graph in CSR form (cursor recurrence).
+  int pos = 0;
+  for (int v = 0; v < 160; v = v + 1) {
+    adj_off[v] = pos;
+    adj[pos] = (v + 1) % 160; pos = pos + 1;
+    adj[pos] = (v + 159) % 160; pos = pos + 1;
+    if (v % 2 == 1) {
+      adj[pos] = (v + 37) % 160; pos = pos + 1;
+      adj[pos] = (v + 81) % 160; pos = pos + 1;
+    }
+  }
+  adj_off[160] = pos;
+
+  int[] dist = new int[160];
+  int[] in_next = new int[160];
+  // L1: distance init (map).
+  for (int v = 0; v < 160; v = v + 1) {
+    dist[v] = 1000000;
+    in_next[v] = 0;
+  }
+  dist[0] = 0;
+
+  WorkList* frontier = new WorkList;
+  push(frontier, 0);
+  int next_count = 1;
+  // L2: BFS level loop (sequential: levels depend on each other).
+  while (next_count) {
+    next_count = 0;
+    // L3: top-down step — the loop DCA detects as commutative.
+    while (frontier->size) {
+      int current = pop(frontier);
+      // L4: neighbor scan with relaxation into the bag.
+      for (int e = adj_off[current]; e < adj_off[current + 1]; e = e + 1) {
+        int n = adj[e];
+        if (dist[n] > dist[current] + 1) {
+          dist[n] = dist[current] + 1;
+          if (in_next[n] == 0) {
+            in_next[n] = 1;
+            next_count = next_count + 1;
+          }
+        }
+      }
+    }
+    // L5: rebuild the frontier from the bag (cursor-free, ordered scan).
+    for (int v = 0; v < 160; v = v + 1) {
+      if (in_next[v] == 1) {
+        in_next[v] = 0;
+        push(frontier, v);
+      }
+    }
+  }
+  // L6: distance checksum (reduction).
+  int sum = 0;
+  for (int v = 0; v < 160; v = v + 1) {
+    sum = sum + dist[v];
+  }
+  print("BFS", sum, dist[80]);
+}
+"""
+
+BFS = Benchmark(
+    name="BFS",
+    suite="plds",
+    source=SOURCE,
+    description="Lonestar-style worklist BFS (Fig. 2)",
+    ground_truth={
+        "main.L0": False,  # CSR cursor
+        "main.L1": True,
+        "main.L2": False,  # level synchronization
+        "main.L3": True,   # top-down step (paper's claim)
+        "main.L4": True,   # neighbor relaxation (benign with atomics)
+        # L5 constructs the frontier *list*, whose node order is part of
+        # the loop's live-out state: an ordered construction (the bag
+        # itself is order-free, the list is not).
+        "main.L5": False,
+        "main.L6": True,
+    },
+    expert_loops=["main.L3"],
+    table2=Table2Info(
+        origin="Lonestar",
+        function="BFS",
+        kernel_label="main.L3",
+        lit_overall_speedup=21.0,
+        technique="Galois [44]",
+    ),
+)

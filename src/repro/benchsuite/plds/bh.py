@@ -1,0 +1,114 @@
+"""bh (Olden) — Barnes-Hut ``walksub``, rewritten imperatively.
+
+For each body, walk the force tree through an explicit stack, opening
+cells that are too close and accumulating accelerations — a per-body
+read-only tree walk with a private force reduction (Table II: 2.75×).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Cell { float mass; float pos; float size; Cell* left; Cell* right; }
+struct Body { float pos; float acc; Body* next; }
+struct Frame { Cell* cell; Frame* next; }
+
+int NBODY = 24;
+
+func Cell* build_tree(int depth, float center, float size) {
+  Cell* c = new Cell;
+  c->pos = center;
+  c->size = size;
+  if (depth == 0) {
+    c->mass = 1.0 + center * 0.01;
+    return c;
+  }
+  c->left = build_tree(depth - 1, center - size / 4.0, size / 2.0);
+  c->right = build_tree(depth - 1, center + size / 4.0, size / 2.0);
+  c->mass = c->left->mass + c->right->mass;
+  return c;
+}
+
+func void main() {
+  Cell* root = build_tree(5, 50.0, 100.0);
+  // L0: build the body list.
+  Body* bodies = null;
+  for (int b = 0; b < 24; b = b + 1) {
+    Body* bd = new Body;
+    bd->pos = to_float((b * 17) % 100);
+    bd->acc = 0.0;
+    bd->next = bodies;
+    bodies = bd;
+  }
+
+  // L1: walksub over all bodies — the Table II kernel: per-body
+  // read-only tree walk with a private acceleration accumulation.
+  Body* body = bodies;
+  while (body) {
+    float acc = 0.0;
+    Frame* stack = new Frame;
+    stack->cell = root;
+    // L2: explicit-stack tree walk (opening criterion).
+    while (stack) {
+      Cell* c = stack->cell;
+      stack = stack->next;
+      float d = c->pos - body->pos;
+      if (d < 0.0) { d = 0.0 - d; }
+      if (c->size < d + 1.0) {
+        // far enough: use the aggregate mass
+        acc = acc + c->mass / (d * d + 1.0);
+      } else {
+        if (c->left) {
+          Frame* f1 = new Frame;
+          f1->cell = c->left;
+          f1->next = stack;
+          stack = f1;
+        }
+        if (c->right) {
+          Frame* f2 = new Frame;
+          f2->cell = c->right;
+          f2->next = stack;
+          stack = f2;
+        }
+        if (c->left == null && c->right == null) {
+          acc = acc + c->mass / (d * d + 1.0);
+        }
+      }
+    }
+    body->acc = acc;
+    body = body->next;
+  }
+
+  // L3: total acceleration (reduction).
+  float total = 0.0;
+  body = bodies;
+  while (body) {
+    total = total + body->acc;
+    body = body->next;
+  }
+  print("bh", total);
+}
+"""
+
+BH = Benchmark(
+    name="bh",
+    suite="plds",
+    source=SOURCE,
+    description="Olden bh walksub per-body tree walks",
+    ground_truth={
+        "main.L0": False,
+        "main.L1": True,   # per-body walks are independent
+        # main.L2 (the walk itself) is excluded from the precision study:
+        # its payload interleaves with the opening-criterion control flow,
+        # so no SESE payload region exists (untestable for outlining-based
+        # DCA, as for LLVM CodeExtractor).
+        "main.L3": True,
+    },
+    expert_loops=["main.L1"],
+    table2=Table2Info(
+        origin="Olden",
+        function="walksub",
+        kernel_label="main.L1",
+        lit_loop_speedup=2.75,
+        technique="DSWP variant 1",
+    ),
+)

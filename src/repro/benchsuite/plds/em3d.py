@@ -1,0 +1,79 @@
+"""em3d (Olden) — ``compute_nodes``: bipartite E/H field updates.
+
+Each E-node's value is recomputed from its H-node neighbours (through
+per-node pointer arrays); writes are disjoint per node, reads target the
+other partition — the classic Olden DSWP loop (Table II: ~2×).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct ENode { float value; ENode* next; ENode* from0; ENode* from1;
+               float coeff0; float coeff1; }
+
+int NNODES = 40;
+
+func void main() {
+  // L0: build the H list.
+  ENode* hlist = null;
+  ENode*[] hvec = new ENode*[40];
+  for (int i = 0; i < 40; i = i + 1) {
+    ENode* h = new ENode;
+    h->value = sin(to_float(i) * 0.7);
+    h->next = hlist;
+    hlist = h;
+    hvec[i] = h;
+  }
+  // L1: build the E list wired to two H neighbours each.
+  ENode* elist = null;
+  for (int i = 0; i < 40; i = i + 1) {
+    ENode* e = new ENode;
+    e->value = 0.0;
+    e->from0 = hvec[(i * 7) % 40];
+    e->from1 = hvec[(i * 11 + 3) % 40];
+    e->coeff0 = 0.6;
+    e->coeff1 = 0.4;
+    e->next = elist;
+    elist = e;
+  }
+
+  // L2: compute_nodes — the Table II kernel: disjoint per-node writes,
+  // cross-partition reads through pointer fields.
+  ENode* node = elist;
+  while (node) {
+    node->value = node->coeff0 * node->from0->value
+                + node->coeff1 * node->from1->value;
+    node = node->next;
+  }
+
+  // L3: field energy (reduction).
+  float energy = 0.0;
+  node = elist;
+  while (node) {
+    energy = energy + node->value * node->value;
+    node = node->next;
+  }
+  print("em3d", energy);
+}
+"""
+
+EM3D = Benchmark(
+    name="em3d",
+    suite="plds",
+    source=SOURCE,
+    description="Olden em3d compute_nodes bipartite update",
+    ground_truth={
+        "main.L0": False,
+        "main.L1": False,
+        "main.L2": True,
+        "main.L3": True,
+    },
+    expert_loops=["main.L2"],
+    table2=Table2Info(
+        origin="Olden",
+        function="compute_nodes",
+        kernel_label="main.L2",
+        lit_loop_speedup=2.0,
+        technique="DSWP variant 1",
+    ),
+)

@@ -1,0 +1,94 @@
+"""hash (Shootout) — ``ht_find`` over a chained hash table.
+
+A linked list of probe requests drives lookups into a bucket-chained hash
+table; each probe walks its bucket chain read-only and accumulates the
+found value.  The probe-list traversal is the pointer-chasing iterator
+that defeats the dependence-based baselines.
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Entry { int key; int value; Entry* next; }
+struct Probe { int key; int result; Probe* next; }
+
+int NBUCKETS = 16;
+int NINSERT = 64;
+int NPROBES = 96;
+
+func void main() {
+  Entry*[] table = new Entry*[16];
+  // L0: populate the table (bucket-chain construction, ordered).
+  for (int i = 0; i < 64; i = i + 1) {
+    int key = (i * 2654435761) % 1024;
+    if (key < 0) { key = -key; }
+    int b = key % 16;
+    Entry* e = new Entry;
+    e->key = key;
+    e->value = key % 97 + i % 11;
+    e->next = table[b];
+    table[b] = e;
+  }
+
+  // L1: build the probe request list (ordered construction).
+  Probe* probes = null;
+  for (int p = 0; p < 96; p = p + 1) {
+    int key = ((p % 64) * 2654435761) % 1024;
+    if (key < 0) { key = -key; }
+    Probe* pr = new Probe;
+    pr->key = key;
+    pr->result = 0;
+    pr->next = probes;
+    probes = pr;
+  }
+
+  // L2: probe stream — the Table II kernel (ht_find per request,
+  // read-only chain walks, disjoint result writes).
+  int found = 0;
+  Probe* pr = probes;
+  while (pr) {
+    // L3: ht_find — bucket-chain walk.
+    Entry* e = table[pr->key % 16];
+    int value = 0;
+    while (e) {
+      if (e->key == pr->key) {
+        value = e->value;
+      }
+      e = e->next;
+    }
+    pr->result = value;
+    found += value;
+    pr = pr->next;
+  }
+  // L4: hit count (reduction over the probe list).
+  int hits = 0;
+  pr = probes;
+  while (pr) {
+    if (pr->result > 0) { hits += 1; }
+    pr = pr->next;
+  }
+  print("hash", found, hits);
+}
+"""
+
+HASH = Benchmark(
+    name="hash",
+    suite="plds",
+    source=SOURCE,
+    description="Shootout hash ht_find probe stream",
+    ground_truth={
+        "main.L0": False,  # ordered chain construction
+        "main.L1": False,  # ordered probe-list construction
+        "main.L2": True,   # independent probes
+        "main.L3": True,   # chain scan: unique key match, order-free
+        "main.L4": True,
+    },
+    expert_loops=["main.L2"],
+    table2=Table2Info(
+        origin="Shootout",
+        function="ht_find",
+        kernel_label="main.L2",
+        lit_overall_speedup=4.0,
+        technique="Partitioning",
+    ),
+)

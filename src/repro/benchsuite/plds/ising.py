@@ -1,0 +1,86 @@
+"""ising (community) — lattice spin sweep over linked cells.
+
+Deterministic two-phase Ising-style update: each linked cell computes its
+next spin from its neighbours' current spins (disjoint writes to a
+shadow field), then a commit pass copies shadow → spin.  Both sweeps are
+commutative PLDS traversals (Table II: ~6× via ASC).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Site { int spin; int next_spin; Site* left; Site* right; Site* next; }
+
+int NSITES = 192;
+
+func void main() {
+  // L0: build a ring of sites linked into a traversal list.
+  Site*[] ring = new Site*[192];
+  for (int i = 0; i < 192; i = i + 1) {
+    Site* s = new Site;
+    s->spin = ((i * 31) % 7) % 2 * 2 - 1;
+    ring[i] = s;
+  }
+  // L1: wire neighbours and the traversal list.
+  Site* sites = null;
+  for (int i = 0; i < 192; i = i + 1) {
+    ring[i]->left = ring[(i + 191) % 192];
+    ring[i]->right = ring[(i + 1) % 192];
+    ring[i]->next = sites;
+    sites = ring[i];
+  }
+
+  // L2: sweeps (sequential time steps).
+  for (int t = 0; t < 4; t = t + 1) {
+    // L3: compute next spins — the Table II kernel (disjoint writes).
+    Site* s = sites;
+    while (s) {
+      int field = s->left->spin + s->right->spin + (t % 2) * 2 - 1;
+      if (field > 0) {
+        s->next_spin = 1;
+      } else {
+        s->next_spin = -1;
+      }
+      s = s->next;
+    }
+    // L4: commit (map over cells).
+    s = sites;
+    while (s) {
+      s->spin = s->next_spin;
+      s = s->next;
+    }
+  }
+
+  // L5: magnetization (reduction).
+  int mag = 0;
+  Site* s = sites;
+  while (s) {
+    mag = mag + s->spin;
+    s = s->next;
+  }
+  print("ising", mag);
+}
+"""
+
+ISING = Benchmark(
+    name="ising",
+    suite="plds",
+    source=SOURCE,
+    description="Ising lattice sweep over linked cells",
+    ground_truth={
+        "main.L0": True,   # disjoint slot writes
+        "main.L1": False,  # ordered list construction
+        "main.L2": False,  # time steps
+        "main.L3": True,
+        "main.L4": True,
+        "main.L5": True,
+    },
+    expert_loops=["main.L3", "main.L4"],
+    table2=Table2Info(
+        origin="community",
+        function="main",
+        kernel_label="main.L3",
+        lit_overall_speedup=6.0,
+        technique="ASC [45]",
+    ),
+)

@@ -1,0 +1,80 @@
+"""ks (PtrDist) — ``FindMaxGpAndSwap``: max-gain search over module lists.
+
+Kernighan-Schweikert partitioning: scan every module in the A-list,
+compute its move gain from a linked net list, and track the argmax.
+Gains are unique by construction, so the argmax is order-insensitive.
+Covers ~99% of sequential time, matching the Table II row.
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct NetRef { int weight; NetRef* next; }
+struct Module { int id; int base_gain; NetRef* nets; Module* next; }
+
+int NMODULES = 96;
+
+func void main() {
+  // L0: build the module list with per-module net references.
+  Module* mods = null;
+  for (int m = 0; m < 96; m = m + 1) {
+    Module* mod = new Module;
+    mod->id = m;
+    mod->base_gain = (m * 17) % 31;
+    mod->next = mods;
+    NetRef* nets = null;
+    // L1: nets per module.
+    for (int n = 0; n < 10; n = n + 1) {
+      NetRef* ref = new NetRef;
+      ref->weight = (m * 3 + n * 7) % 13 + 1;
+      ref->next = nets;
+      nets = ref;
+    }
+    mod->nets = nets;
+    mods = mod;
+  }
+
+  // L2: FindMaxGpAndSwap — the Table II kernel: per-module gain
+  // computation (inner list reduction) + unique-argmax tracking.
+  int best_gain = -1000000;
+  int best_id = -1;
+  Module* mod = mods;
+  while (mod) {
+    int gain = mod->base_gain * 64;
+    // L3: gain contribution from the module's nets.
+    NetRef* ref = mod->nets;
+    while (ref) {
+      gain = gain + ref->weight;
+      ref = ref->next;
+    }
+    gain = gain * 64 + mod->id;   // unique tie-break: gains are distinct
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_id = mod->id;
+    }
+    mod = mod->next;
+  }
+  print("ks", best_gain, best_id);
+}
+"""
+
+KS = Benchmark(
+    name="ks",
+    suite="plds",
+    source=SOURCE,
+    description="PtrDist ks FindMaxGpAndSwap max-gain scan",
+    ground_truth={
+        "main.L0": False,
+        "main.L1": False,
+        "main.L2": True,   # unique argmax over modules
+        "main.L3": True,   # gain reduction
+    },
+    expert_loops=["main.L2"],
+    table2=Table2Info(
+        origin="PtrDist",
+        function="FindMaxGpAndSwap",
+        kernel_label="main.L2",
+        lit_loop_speedup=1.5,
+        technique="DSWP variant 1",
+    ),
+)

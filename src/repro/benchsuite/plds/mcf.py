@@ -1,0 +1,82 @@
+"""429.mcf (SPEC CPU2006) — ``refresh_potential`` tree traversal.
+
+The paper's most interesting Table II row: the loop carries a real
+cross-iteration dependence (a node reads its predecessor's potential),
+but the test/reference workloads never exercise it — the default tree
+here is a star (depth 1), so every predecessor's potential is final
+before the loop and DCA reports the loop commutative.  Setting the global
+``DEEP`` to 1 builds a chain-shaped tree that *does* exercise the
+dependence, letting tests demonstrate the input-sensitivity caveat
+(paper §IV-D / §V-B2).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct MNode { int potential; int cost; MNode* pred; MNode* sibling; }
+
+int NNODES = 48;
+int DEEP = 0;
+
+func void main() {
+  MNode* root = new MNode;
+  root->potential = 100;
+  root->cost = 0;
+  MNode* chain = null;
+  MNode* prev = root;
+  // L0: build the node list (star by default, chain when DEEP=1).
+  for (int i = 0; i < 48; i = i + 1) {
+    MNode* n = new MNode;
+    n->cost = (i * 37) % 50 + 1;
+    if (DEEP == 1) {
+      n->pred = prev;
+      prev = n;
+    } else {
+      n->pred = root;
+    }
+    n->sibling = chain;
+    chain = n;
+  }
+
+  // L1: refresh_potential — the Table II kernel.  Reads pred->potential,
+  // writes the node's own potential while chasing the sibling list.
+  MNode* node = chain;
+  while (node) {
+    node->potential = node->pred->potential + node->cost;
+    node = node->sibling;
+  }
+
+  // L2: checksum (reduction over the list).
+  int checksum = 0;
+  node = chain;
+  while (node) {
+    checksum = checksum + node->potential;
+    node = node->sibling;
+  }
+  print("mcf", checksum);
+}
+"""
+
+MCF = Benchmark(
+    name="mcf",
+    suite="plds",
+    source=SOURCE,
+    description="SPEC 429.mcf refresh_potential (latent dependence)",
+    ground_truth={
+        "main.L0": False,  # ordered list construction
+        # Known *not* to be statically commutative; the dependence is not
+        # exercised by the default (star) workload, so DCA reports it —
+        # the paper reports exactly this (speculative parallelization
+        # relies on the dependence being infrequent).
+        "main.L1": True,
+        "main.L2": True,
+    },
+    expert_loops=["main.L1"],
+    table2=Table2Info(
+        origin="SPEC CPU2006",
+        function="refresh_potential",
+        kernel_label="main.L1",
+        lit_loop_speedup=2.2,
+        technique="DSWP variant 1 [37], [38]",
+    ),
+)

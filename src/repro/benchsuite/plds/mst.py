@@ -1,0 +1,88 @@
+"""mst (Olden) — ``BlueRule``: minimum light-edge selection.
+
+Prim-style step: scan the list of not-yet-included vertices, compute each
+one's distance to the growing tree through a linked adjacency (hash-like)
+chain, and keep the unique minimum — a nested PLDS argmin (Table II).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct HashEnt { int key; int dist; HashEnt* next; }
+struct Vert { int id; int mindist; HashEnt* adj; Vert* next; }
+
+int NVERT = 32;
+
+func void main() {
+  // L0: build the vertex list with chained adjacency entries.
+  Vert* verts = null;
+  for (int v = 0; v < 32; v = v + 1) {
+    Vert* vx = new Vert;
+    vx->id = v;
+    vx->mindist = 1000000;
+    vx->next = verts;
+    HashEnt* adj = null;
+    // L1: adjacency chain per vertex (unique distances).
+    for (int e = 0; e < 4; e = e + 1) {
+      HashEnt* h = new HashEnt;
+      h->key = (v + e * 9) % 32;
+      h->dist = ((v * 4 + e) * 53 % 211) * 128 + v * 4 + e + 1;
+      h->next = adj;
+      adj = h;
+    }
+    vx->adj = adj;
+    verts = vx;
+  }
+
+  // L2: BlueRule — the Table II kernel: per-vertex chain scan (L3) and
+  // global unique-argmin tracking.
+  int best = 1000000000;
+  int best_vert = -1;
+  Vert* vx = verts;
+  while (vx) {
+    int local = 1000000000;
+    // L3: chain walk for the vertex's lightest edge.
+    HashEnt* h = vx->adj;
+    while (h) {
+      if (h->dist < local) { local = h->dist; }
+      h = h->next;
+    }
+    vx->mindist = local;
+    if (local < best) {
+      best = local;
+      best_vert = vx->id;
+    }
+    vx = vx->next;
+  }
+  // L4: checksum of per-vertex minima (reduction).
+  int chk = 0;
+  vx = verts;
+  while (vx) {
+    chk = chk + vx->mindist % 1000;
+    vx = vx->next;
+  }
+  print("mst", best, best_vert, chk);
+}
+"""
+
+MST = Benchmark(
+    name="mst",
+    suite="plds",
+    source=SOURCE,
+    description="Olden mst BlueRule nested argmin",
+    ground_truth={
+        "main.L0": False,
+        "main.L1": False,
+        "main.L2": True,
+        "main.L3": True,
+        "main.L4": True,
+    },
+    expert_loops=["main.L2"],
+    table2=Table2Info(
+        origin="Olden",
+        function="BlueRule",
+        kernel_label="main.L2",
+        lit_loop_speedup=1.5,
+        technique="DSWP variant 1",
+    ),
+)

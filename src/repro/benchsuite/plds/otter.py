@@ -1,0 +1,99 @@
+"""otter (FOSS theorem prover) — ``find_lightest_geo_child``.
+
+Scan a clause's linked child list for the lightest element (unique
+weights → order-insensitive argmin), repeated over a list of clauses.
+Coverage is moderate (~15% in the paper): the driver does other work.
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Child { int weight; int id; Child* next; }
+struct Clause { Child* children; int tag; Clause* next; }
+
+int NCLAUSES = 30;
+
+func void main() {
+  // L0: build clause list with child lists (unique weights).
+  Clause* clauses = null;
+  for (int c = 0; c < 30; c = c + 1) {
+    Clause* cl = new Clause;
+    cl->tag = c;
+    cl->next = clauses;
+    Child* kids = null;
+    // L1: children per clause.
+    for (int k = 0; k < 6; k = k + 1) {
+      Child* ch = new Child;
+      ch->id = c * 6 + k;
+      ch->weight = ((c * 6 + k) * 37 % 181) * 32 + ch->id % 32;
+      ch->next = kids;
+      kids = ch;
+    }
+    cl->children = kids;
+    clauses = cl;
+  }
+
+  // L2: driver — per-clause lightest-child selection (Table II kernel
+  // is the inner scan; the outer loop is also commutative).
+  int total = 0;
+  Clause* cl = clauses;
+  while (cl) {
+    int lightest = 1000000000;
+    int pick = -1;
+    // L3: find_lightest_geo_child — argmin over the child list.
+    Child* ch = cl->children;
+    while (ch) {
+      if (ch->weight < lightest) {
+        lightest = ch->weight;
+        pick = ch->id;
+      }
+      ch = ch->next;
+    }
+    total += pick + lightest % 97;
+    cl = cl->next;
+  }
+  // L4: post-pass: weight decay on every child (nested map).
+  cl = clauses;
+  while (cl) {
+    Child* ch = cl->children;
+    // L5: inner decay map.
+    while (ch) {
+      ch->weight = ch->weight - ch->weight / 10;
+      ch = ch->next;
+    }
+    cl = cl->next;
+  }
+  int chk = 0;
+  // L6: checksum.
+  cl = clauses;
+  while (cl) {
+    chk = chk + cl->children->weight;
+    cl = cl->next;
+  }
+  print("otter", total, chk);
+}
+"""
+
+OTTER = Benchmark(
+    name="otter",
+    suite="plds",
+    source=SOURCE,
+    description="otter find_lightest_geo_child argmin scans",
+    ground_truth={
+        "main.L0": False,
+        "main.L1": False,
+        "main.L2": True,
+        "main.L3": True,
+        "main.L4": True,
+        "main.L5": True,
+        "main.L6": True,
+    },
+    expert_loops=["main.L3"],
+    table2=Table2Info(
+        origin="FOSS",
+        function="find_lightest_geo_child",
+        kernel_label="main.L3",
+        lit_loop_speedup=2.5,
+        technique="DSWP variant 2",
+    ),
+)

@@ -1,0 +1,81 @@
+"""perimeter (Olden) — quadtree perimeter computation (imperative form).
+
+Worklist traversal of a quadtree counting boundary contributions of the
+leaves — structurally treeadd with a leaf-classified payload.
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Quad { int color; int level; Quad* c0; Quad* c1; Quad* c2; Quad* c3; }
+struct Item { Quad* node; Item* next; }
+struct Stack { Item* top; int size; }
+
+int DEPTH = 5;
+
+func void push(Stack* s, Quad* q) {
+  Item* it = new Item;
+  it->node = q;
+  it->next = s->top;
+  s->top = it;
+  s->size = s->size + 1;
+}
+
+func Quad* pop(Stack* s) {
+  Item* it = s->top;
+  s->top = it->next;
+  s->size = s->size - 1;
+  return it->node;
+}
+
+func Quad* build(int level, int code) {
+  Quad* q = new Quad;
+  q->level = level;
+  q->color = code % 3;
+  if (level > 1 && code % 5 != 0) {
+    q->c0 = build(level - 1, code * 2 + 1);
+    q->c1 = build(level - 1, code * 3 + 1);
+    q->c2 = build(level - 1, code * 5 + 2);
+    q->c3 = build(level - 1, code * 7 + 3);
+  }
+  return q;
+}
+
+func void main() {
+  Quad* root = build(5, 1);
+  Stack* stack = new Stack;
+  push(stack, root);
+  int perim = 0;
+  // perimeter kernel: worklist traversal + boundary-count reduction.
+  while (stack->size) {
+    Quad* q = pop(stack);
+    if (q->c0) { push(stack, q->c0); }
+    if (q->c1) { push(stack, q->c1); }
+    if (q->c2) { push(stack, q->c2); }
+    if (q->c3) { push(stack, q->c3); }
+    int contrib = q->color;
+    contrib = (contrib * 37 + q->level * 11 + 5) % 4096;
+    contrib = (contrib * 53 + 7) % 4096;
+    contrib = (contrib * 41 + 13) % 4096;
+    contrib = (contrib * 61 + 3) % 4096;
+    perim += (contrib % 2) * (q->level + 3) + contrib % 7;
+  }
+  print("perimeter", perim);
+}
+"""
+
+PERIMETER = Benchmark(
+    name="perimeter",
+    suite="plds",
+    source=SOURCE,
+    description="Olden perimeter: quadtree boundary count",
+    ground_truth={"main.L0": True},
+    expert_loops=["main.L0"],
+    table2=Table2Info(
+        origin="Olden",
+        function="perimeter",
+        kernel_label="main.L0",
+        lit_loop_speedup=2.25,
+        technique="DSWP variant 1",
+    ),
+)

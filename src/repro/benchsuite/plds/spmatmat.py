@@ -1,0 +1,98 @@
+"""spmatmat (SPARK00) — sparse matrix × dense matrix over linked rows.
+
+The sparse matrix is a linked list of rows, each a linked list of
+(column, value) elements; every row independently produces one dense
+output row — a PLDS loop nest with disjoint output (Table II: ~4× via
+APOLLO).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Elem { int col; float val; Elem* next; }
+struct Row { int idx; Elem* elems; float[] out; Row* next; }
+
+int NROWS = 24;
+int NCOLS = 24;
+int NB = 16;
+
+func void main() {
+  float[] dense = new float[384];   // NCOLS x NB dense operand
+  // L0: fill the dense operand (map).
+  for (int k = 0; k < 384; k = k + 1) {
+    dense[k] = sin(to_float(k) * 0.13);
+  }
+
+  // L1: build linked sparse rows (band pattern, ordered construction).
+  Row* rows = null;
+  for (int r = 0; r < 24; r = r + 1) {
+    Row* row = new Row;
+    row->idx = r;
+    row->out = new float[16];
+    Elem* elems = null;
+    // L2: elements per row.
+    for (int d = 0; d < 3; d = d + 1) {
+      Elem* e = new Elem;
+      e->col = (r + d * 5) % 24;
+      e->val = 1.0 / to_float(1 + r + d);
+      e->next = elems;
+      elems = e;
+    }
+    row->elems = elems;
+    row->next = rows;
+    rows = row;
+  }
+
+  // L3: spmatmat kernel — per-row products into the row's own buffer.
+  Row* row = rows;
+  while (row) {
+    // L4: row elements.
+    Elem* e = row->elems;
+    while (e) {
+      // L5: accumulate over the dense columns.
+      for (int b = 0; b < 16; b = b + 1) {
+        row->out[b] = row->out[b] + e->val * dense[e->col * 16 + b];
+      }
+      e = e->next;
+    }
+    row = row->next;
+  }
+
+  // L6: result norm (nested reduction over rows).
+  float norm = 0.0;
+  row = rows;
+  while (row) {
+    // L7: per-row partial.
+    for (int b = 0; b < 16; b = b + 1) {
+      norm = norm + row->out[b] * row->out[b];
+    }
+    row = row->next;
+  }
+  print("spmatmat", norm);
+}
+"""
+
+SPMATMAT = Benchmark(
+    name="spmatmat",
+    suite="plds",
+    source=SOURCE,
+    description="SPARK00 spmatmat: linked sparse rows x dense",
+    ground_truth={
+        "main.L0": True,
+        "main.L1": False,
+        "main.L2": False,
+        "main.L3": True,   # independent rows
+        "main.L4": True,   # element contributions commute (FP rtol)
+        "main.L5": True,
+        "main.L6": True,
+        "main.L7": True,
+    },
+    expert_loops=["main.L3"],
+    table2=Table2Info(
+        origin="SPARK00",
+        function="main",
+        kernel_label="main.L3",
+        lit_overall_speedup=4.0,
+        technique="APOLLO [46]",
+    ),
+)

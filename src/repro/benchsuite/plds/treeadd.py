@@ -1,0 +1,83 @@
+"""treeadd (Olden) — binary-tree sum, rewritten imperatively (worklist).
+
+The kernel traverses the tree through an explicit stack; the traversal
+(pop + child pushes) is the iterator, the payload is a sum reduction —
+the canonical DCA-only loop (Table II: partitioning exploited it for ~7×).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Tree { int val; Tree* left; Tree* right; }
+struct Item { Tree* node; Item* next; }
+struct Stack { Item* top; int size; }
+
+int LEVELS = 8;
+
+func void push(Stack* s, Tree* n) {
+  Item* it = new Item;
+  it->node = n;
+  it->next = s->top;
+  s->top = it;
+  s->size = s->size + 1;
+}
+
+func Tree* pop(Stack* s) {
+  Item* it = s->top;
+  s->top = it->next;
+  s->size = s->size - 1;
+  return it->node;
+}
+
+func Tree* build(int level, int seed) {
+  Tree* t = new Tree;
+  t->val = seed % 100;
+  if (level > 1) {
+    t->left = build(level - 1, seed * 3 + 1);
+    t->right = build(level - 1, seed * 5 + 2);
+  }
+  return t;
+}
+
+func int nodework(int v) {
+  int h = v;
+  h = (h * 31 + 7) % 65536;
+  h = (h * 17 + 3) % 65536;
+  h = (h * 13 + 11) % 65536;
+  h = (h * 29 + 5) % 65536;
+  h = (h * 19 + 1) % 65536;
+  h = (h * 23 + 9) % 65536;
+  return h % 1000;
+}
+
+func void main() {
+  Tree* root = build(8, 42);
+  Stack* stack = new Stack;
+  push(stack, root);
+  int sum = 0;
+  // TreeAdd kernel: worklist traversal + per-node work reduction (main.L0).
+  while (stack->size) {
+    Tree* n = pop(stack);
+    if (n->left) { push(stack, n->left); }
+    if (n->right) { push(stack, n->right); }
+    sum += nodework(n->val);
+  }
+  print("treeadd", sum);
+}
+"""
+
+TREEADD = Benchmark(
+    name="treeadd",
+    suite="plds",
+    source=SOURCE,
+    description="Olden treeadd: worklist tree sum",
+    ground_truth={"main.L0": True},
+    expert_loops=["main.L0"],
+    table2=Table2Info(
+        origin="Olden",
+        function="TreeAdd",
+        kernel_label="main.L0",
+        lit_overall_speedup=7.0,
+        technique="Partitioning [43]",
+    ),
+)

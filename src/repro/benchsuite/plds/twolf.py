@@ -1,0 +1,95 @@
+"""300.twolf (SPEC CPU2000) — ``new_dbox_a``-style doubly-nested lists.
+
+Placement cost evaluation: for each cell in a linked list, walk the
+cell's net list and accumulate half-perimeter wire-length terms — the
+doubly-nested linked-list traversal the paper calls out (§V-B2).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Pin { int x; int y; Pin* next; }
+struct Net { Pin* pins; int weight; Net* next; }
+struct Cell { Net* nets; int xpos; Cell* next; }
+
+int NCELLS = 24;
+
+func void main() {
+  // L0: build cells, each with a few nets of a few pins.
+  Cell* cells = null;
+  for (int c = 0; c < 24; c = c + 1) {
+    Cell* cell = new Cell;
+    cell->xpos = (c * 13) % 40;
+    cell->next = cells;
+    Net* nets = null;
+    // L1: nets per cell.
+    for (int n = 0; n < 3; n = n + 1) {
+      Net* net = new Net;
+      net->weight = n + 1;
+      net->next = nets;
+      Pin* pins = null;
+      // L2: pins per net.
+      for (int p = 0; p < 4; p = p + 1) {
+        Pin* pin = new Pin;
+        pin->x = (c * 7 + n * 5 + p * 3) % 50;
+        pin->y = (c * 11 + n * 2 + p * 9) % 50;
+        pin->next = pins;
+        pins = pin;
+      }
+      net->pins = pins;
+      nets = net;
+    }
+    cell->nets = nets;
+    cells = cell;
+  }
+
+  // L3: new_dbox_a — per-cell wire-length delta (Table II kernel):
+  // doubly-nested linked-list traversal with a cost reduction.
+  int total = 0;
+  Cell* cell = cells;
+  while (cell) {
+    int cost = 0;
+    // L4: net list walk.
+    Net* net = cell->nets;
+    while (net) {
+      int minx = 1000000;
+      int maxx = -1000000;
+      // L5: pin list walk (bounding-box min/max).
+      Pin* pin = net->pins;
+      while (pin) {
+        if (pin->x < minx) { minx = pin->x; }
+        if (pin->x > maxx) { maxx = pin->x; }
+        pin = pin->next;
+      }
+      cost = cost + net->weight * (maxx - minx + cell->xpos % 7);
+      net = net->next;
+    }
+    total += cost;
+    cell = cell->next;
+  }
+  print("twolf", total);
+}
+"""
+
+TWOLF = Benchmark(
+    name="twolf",
+    suite="plds",
+    source=SOURCE,
+    description="SPEC 300.twolf new_dbox_a nested list traversal",
+    ground_truth={
+        "main.L0": False,  # ordered construction
+        "main.L1": False,
+        "main.L2": False,
+        "main.L3": True,   # per-cell cost: independent cells
+        "main.L4": True,   # per-net terms: sum reduction
+        "main.L5": True,   # bounding box: min/max reduction
+    },
+    expert_loops=["main.L3"],
+    table2=Table2Info(
+        origin="SPEC CPU2000",
+        function="new_dbox_a",
+        kernel_label="main.L3",
+        lit_loop_speedup=1.5,
+        technique="DSWP variant 2 [40]",
+    ),
+)

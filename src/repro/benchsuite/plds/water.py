@@ -1,0 +1,81 @@
+"""water-spatial (SPLASH-3) — ``INTERF``: intra-cell pairwise forces.
+
+Molecules live in linked cell lists; each molecule accumulates the force
+from the other molecules in its cell into its own field — disjoint
+per-molecule writes with shared reads (Table II: 2× via OpenMP).
+"""
+
+from repro.benchsuite.base import Benchmark, Table2Info
+
+SOURCE = """
+struct Mol { float pos; float force; Mol* cellmate; Mol* next; }
+
+int NMOL = 120;
+int NCELLS = 6;
+
+func void main() {
+  Mol*[] cells = new Mol*[6];
+  // L0: distribute molecules into cell lists and a global list.
+  Mol* all = null;
+  for (int i = 0; i < 120; i = i + 1) {
+    Mol* m = new Mol;
+    m->pos = to_float((i * 29) % 100) * 0.1;
+    m->force = 0.0;
+    int c = i % 6;
+    m->cellmate = cells[c];
+    cells[c] = m;
+    m->next = all;
+    all = m;
+  }
+
+  // L1: INTERF — the Table II kernel: per-molecule force accumulation
+  // from its cell's list (reads shared positions, writes own force).
+  Mol* m = all;
+  while (m) {
+    float f = 0.0;
+    int c = to_int(m->pos * 10.0) % 6;
+    // L2: scan the molecule's cell list.
+    Mol* other = cells[to_int(m->pos * 10.0) % 6];
+    while (other) {
+      float d = m->pos - other->pos;
+      if (d < 0.0) { d = 0.0 - d; }
+      if (d > 0.0001) {
+        f = f + 1.0 / (d * d + 0.5);
+      }
+      other = other->cellmate;
+    }
+    m->force = f;
+    m = m->next;
+  }
+
+  // L3: total potential (reduction).
+  float total = 0.0;
+  m = all;
+  while (m) {
+    total = total + m->force;
+    m = m->next;
+  }
+  print("water", total);
+}
+"""
+
+WATER = Benchmark(
+    name="water-spatial",
+    suite="plds",
+    source=SOURCE,
+    description="SPLASH-3 water-spatial INTERF cell-list forces",
+    ground_truth={
+        "main.L0": False,  # ordered list construction
+        "main.L1": True,   # per-molecule force: disjoint writes
+        "main.L2": True,   # pair sum reduction (FP rtol)
+        "main.L3": True,
+    },
+    expert_loops=["main.L1"],
+    table2=Table2Info(
+        origin="SPLASH3",
+        function="INTERF",
+        kernel_label="main.L1",
+        lit_overall_speedup=2.0,
+        technique="OPENMP",
+    ),
+)

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run program.mc            # compile + execute
+    python -m repro analyze program.mc        # DCA verdict per loop
+    python -m repro detect program.mc         # DCA vs all five baselines
+    python -m repro ir program.mc             # dump the IR
+
+Options: ``--entry NAME`` (default main), ``--rtol X``, ``--policy
+strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.driver import compile_program, run_program
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result, out = run_program(_read(args.program), entry=args.entry)
+    sys.stdout.write(out)
+    if result is not None:
+        print(f"[exit value: {result}]")
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    from repro.ir.printer import format_module
+
+    print(format_module(compile_program(_read(args.program))))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import DcaAnalyzer
+
+    module = compile_program(_read(args.program))
+    analyzer = DcaAnalyzer(
+        module, entry=args.entry, rtol=args.rtol, liveout_policy=args.policy
+    )
+    report = analyzer.analyze()
+    print(report.summary())
+    commutative = report.commutative_labels()
+    print(f"\n{len(commutative)}/{len(report.results)} loops commutative")
+
+    if args.cores and commutative:
+        from repro.parallel import MachineModel, ParallelSimulator
+
+        sim = ParallelSimulator(
+            compile_program(_read(args.program)),
+            entry=args.entry,
+            model=MachineModel(cores=args.cores),
+        )
+        speedup = sim.simulate(commutative)
+        print(f"\nSimulated on {args.cores} cores:")
+        print(speedup.summary())
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        DependenceProfilingDetector,
+        DiscoPopDetector,
+        IccDetector,
+        IdiomsDetector,
+        PollyDetector,
+        build_context,
+    )
+    from repro.core import DcaAnalyzer
+
+    source = _read(args.program)
+    report = DcaAnalyzer(
+        compile_program(source), entry=args.entry, rtol=args.rtol
+    ).analyze()
+    ctx = build_context(compile_program(source), entry=args.entry)
+    detectors = [
+        DependenceProfilingDetector(),
+        DiscoPopDetector(),
+        IdiomsDetector(),
+        PollyDetector(),
+        IccDetector(),
+    ]
+    results = {d.name: d.detect(ctx) for d in detectors}
+
+    header = f"{'loop':14s}" + "".join(f"{d.name[:8]:>10s}" for d in detectors)
+    header += f"{'DCA':>20s}"
+    print(header)
+    print("-" * len(header))
+    for label in sorted(report.results):
+        row = f"{label:14s}"
+        for det in detectors:
+            res = results[det.name].get(label)
+            row += f"{'yes' if res and res.parallel else '-':>10s}"
+        row += f"{report.results[label].verdict:>20s}"
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic Commutativity Analysis (CGO 2021) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", help="MiniC source file")
+        p.add_argument("--entry", default="main")
+
+    p_run = sub.add_parser("run", help="compile and execute a program")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_ir = sub.add_parser("ir", help="dump the compiled IR")
+    common(p_ir)
+    p_ir.set_defaults(func=cmd_ir)
+
+    p_an = sub.add_parser("analyze", help="run DCA on every loop")
+    common(p_an)
+    p_an.add_argument("--rtol", type=float, default=1e-9)
+    p_an.add_argument("--policy", choices=("strict", "eventual"), default="strict")
+    p_an.add_argument("--cores", type=int, default=0,
+                      help="also simulate parallel speedup on N cores")
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
+    common(p_det)
+    p_det.add_argument("--rtol", type=float, default=1e-9)
+    p_det.set_defaults(func=cmd_detect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Dynamic Commutativity Analysis — the paper's contribution."""
+
+from repro.core.dca import DcaAnalyzer
+from repro.core.instrument import (
+    TestInstrumentation,
+    VerifySpec,
+    build_observe_module,
+    build_test_module,
+    compute_verify_spec,
+)
+from repro.core.iterator_recognition import (
+    IteratorSeparation,
+    iterator_fraction,
+    separate,
+)
+from repro.core.liveout import Snapshot, capture, snapshots_equal
+from repro.core.payload import OutlineError, OutlineResult, outline_payload
+from repro.core.report import (
+    COMMUTATIVE,
+    COMMUTATIVE_VACUOUS,
+    EXCLUDED_IO,
+    ITERATOR_ONLY,
+    NON_COMMUTATIVE,
+    NOT_EXERCISED,
+    RUNTIME_FAULT,
+    SPLIT_MISMATCH,
+    UNTESTABLE,
+    DcaReport,
+    LoopResult,
+)
+from repro.core.runtime import CommutativityMismatch, DcaRuntime
+from repro.core.schedules import (
+    EvenOddSchedule,
+    IdentitySchedule,
+    RandomSchedule,
+    ReverseSchedule,
+    RotationSchedule,
+    Schedule,
+    ScheduleConfig,
+    is_valid_permutation,
+)
+
+__all__ = [
+    "COMMUTATIVE",
+    "COMMUTATIVE_VACUOUS",
+    "CommutativityMismatch",
+    "DcaAnalyzer",
+    "DcaReport",
+    "DcaRuntime",
+    "EXCLUDED_IO",
+    "EvenOddSchedule",
+    "ITERATOR_ONLY",
+    "IdentitySchedule",
+    "IteratorSeparation",
+    "LoopResult",
+    "NON_COMMUTATIVE",
+    "NOT_EXERCISED",
+    "OutlineError",
+    "OutlineResult",
+    "RUNTIME_FAULT",
+    "RandomSchedule",
+    "ReverseSchedule",
+    "RotationSchedule",
+    "SPLIT_MISMATCH",
+    "Schedule",
+    "ScheduleConfig",
+    "Snapshot",
+    "TestInstrumentation",
+    "UNTESTABLE",
+    "VerifySpec",
+    "build_observe_module",
+    "build_test_module",
+    "capture",
+    "compute_verify_spec",
+    "is_valid_permutation",
+    "iterator_fraction",
+    "outline_payload",
+    "separate",
+    "snapshots_equal",
+]

@@ -1,0 +1,299 @@
+"""DCA orchestration (paper Fig. 3).
+
+``DcaAnalyzer`` drives the whole analysis for one program + workload:
+
+1. **Selection** — every source loop is a candidate unless it (or a callee)
+   performs I/O (§IV-E).
+2. **Golden run** — the observe variant executes once, collecting per-loop,
+   per-invocation live-out snapshots in original program order.
+3. **Testing** — per candidate loop, a test variant (outlined + split) runs
+   once per schedule.  The identity schedule runs first as a transformation
+   sanity check; perturbing schedules (reverse, random) only run when the
+   loop actually iterates (≥2 trips somewhere), since permuting fewer than
+   two iterations cannot change anything.
+4. **Verdicts** — any divergence or fault under a perturbing schedule marks
+   the loop non-commutative; identity divergence marks the transformation
+   unsound for that loop (reported separately as ``split-mismatch``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.dynamic_deps import DynamicDepProfiler
+from repro.analysis.loops import build_loop_forest
+from repro.analysis.purity import EffectAnalysis
+from repro.core.liveout import capture, snapshots_equal
+from repro.core.instrument import (
+    VerifySpec,
+    build_observe_module,
+    build_test_module,
+    compute_verify_spec,
+    loop_does_io,
+)
+from repro.core.payload import OutlineError
+from repro.core.report import (
+    COMMUTATIVE,
+    COMMUTATIVE_VACUOUS,
+    EXCLUDED_IO,
+    ITERATOR_ONLY,
+    NON_COMMUTATIVE,
+    NOT_EXERCISED,
+    RUNTIME_FAULT,
+    SPLIT_MISMATCH,
+    UNTESTABLE,
+    DcaReport,
+    LoopResult,
+)
+from repro.core.runtime import CommutativityMismatch, DcaRuntime
+from repro.core.schedules import IdentitySchedule, Schedule, ScheduleConfig
+from repro.interp.interpreter import Interpreter
+from repro.interp.values import MiniCRuntimeError
+from repro.ir.function import Module
+
+
+class DcaAnalyzer:
+    """Runs Dynamic Commutativity Analysis on a compiled module."""
+
+    def __init__(
+        self,
+        module: Module,
+        entry: str = "main",
+        args: Optional[Sequence[object]] = None,
+        schedules: Optional[ScheduleConfig] = None,
+        rtol: float = 1e-9,
+        max_steps: Optional[int] = None,
+        candidate_labels: Optional[Sequence[str]] = None,
+        liveout_policy: str = "strict",
+    ):
+        self.module = module
+        self.entry = entry
+        self.args = list(args or [])
+        self.schedules = schedules or ScheduleConfig.default()
+        self.rtol = rtol
+        self.max_steps = max_steps
+        self.candidate_labels = (
+            set(candidate_labels) if candidate_labels is not None else None
+        )
+        if liveout_policy not in ("strict", "eventual"):
+            raise ValueError(f"unknown liveout policy {liveout_policy!r}")
+        #: "strict" compares loop live-outs at every loop exit; "eventual"
+        #: compares only the program's final observable outcome (printed
+        #: output, return value, final global state) — the relaxation that
+        #: lets transient worklist ordering violations pass (paper §I/§III).
+        self.liveout_policy = liveout_policy
+        #: Same-invocation dynamic flow edges, filled by the profiling run.
+        self.memory_flow = None
+
+    # -- selection -----------------------------------------------------------
+
+    def select_candidates(self) -> Dict[str, LoopResult]:
+        """Classify every source loop; pre-assign verdicts for exclusions."""
+        effects = EffectAnalysis(self.module)
+        results: Dict[str, LoopResult] = {}
+        for func in self.module.functions.values():
+            forest = build_loop_forest(func)
+            for label, meta in func.loops.items():
+                if self.candidate_labels is not None and (
+                    label not in self.candidate_labels
+                ):
+                    continue
+                if label not in forest.loops:
+                    continue
+                loop = forest.loops[label]
+                result = LoopResult(
+                    label=label,
+                    function=func.name,
+                    line=meta.line,
+                    kind=meta.kind,
+                    verdict=NOT_EXERCISED,
+                )
+                if loop_does_io(func, loop.blocks, effects):
+                    result.verdict = EXCLUDED_IO
+                    result.reason = "loop or callee performs I/O"
+                results[label] = result
+        return results
+
+    # -- dynamic stage ---------------------------------------------------------
+
+    def _profile_memory_flow(self, report: DcaReport) -> None:
+        """One profiled run of the pristine program (iterator recognition)."""
+        profiler = DynamicDepProfiler(self.module)
+        interp = Interpreter(
+            self.module, observers=[profiler], max_steps=self.max_steps
+        )
+        interp.run(self.entry, self.args)
+        report.executions += 1
+        #: label -> same-invocation flow edges, kept per loop: an edge
+        #: discovered in an enclosing loop's scope must not leak into an
+        #: inner loop's slice.
+        self.memory_flow = profiler.memory_flow_edges()
+
+    def _program_outcome(self, interp: Interpreter, result: object):
+        """The eventual observable outcome of a finished execution."""
+        global_names = sorted(self.module.globals)
+        roots = [interp.globals[name] for name in global_names]
+        return (interp.output_text(), result, capture(roots))
+
+    def analyze(self) -> DcaReport:
+        report = DcaReport(entry=self.entry)
+        report.results = self.select_candidates()
+
+        self._profile_memory_flow(report)
+        effects = EffectAnalysis(self.module)
+        testable = [
+            label
+            for label, res in report.results.items()
+            if res.verdict is NOT_EXERCISED
+        ]
+        specs: Dict[str, VerifySpec] = {}
+        for label in testable:
+            func = self.module.functions[report.results[label].function]
+            specs[label] = compute_verify_spec(self.module, func, label, effects)
+
+        # Golden (observe) run: all candidate loops at once.
+        observe = build_observe_module(self.module, specs)
+        golden_rt = DcaRuntime(specs, capture_snapshots=(self.liveout_policy == "strict"))
+        interp = Interpreter(observe, runtime=golden_rt, max_steps=self.max_steps)
+        entry_result = interp.run(self.entry, self.args)
+        report.executions += 1
+        golden = golden_rt.snapshots
+        self._golden_outcome = self._program_outcome(interp, entry_result)
+        self._golden_counts = {
+            label: golden_rt.invocation_count(label) for label in testable
+        }
+        # A permuted execution of a non-commutative loop may diverge (e.g. a
+        # worklist that never drains).  Budget every test run relative to the
+        # golden run so divergence is detected as a runtime fault (§IV-E)
+        # instead of spinning forever.
+        if self.max_steps is None:
+            self._test_step_budget = interp.steps * 20 + 200_000
+        else:
+            self._test_step_budget = self.max_steps
+
+        for label in testable:
+            result = report.results[label]
+            result.invocations = self._golden_counts[label]
+            if result.invocations == 0:
+                result.verdict = NOT_EXERCISED
+                continue
+            self._test_loop(label, specs[label], golden, result, report)
+        return report
+
+    # -- per-loop testing ----------------------------------------------------------
+
+    def _test_loop(
+        self,
+        label: str,
+        spec: VerifySpec,
+        golden: Dict[str, List],
+        result: LoopResult,
+        report: DcaReport,
+    ) -> None:
+        try:
+            instrumented = build_test_module(
+                self.module,
+                label,
+                spec,
+                memory_flow=(self.memory_flow or {}).get(label),
+            )
+        except OutlineError as exc:
+            if exc.reason == "empty-payload":
+                result.verdict = ITERATOR_ONLY
+            else:
+                result.verdict = UNTESTABLE
+            result.reason = exc.reason
+            return
+
+        # Identity first: checks that the record/dispatch split preserves
+        # the original semantics for this loop.
+        identity_rt, identity_ok = self._run_schedule(
+            instrumented.module, IdentitySchedule(), spec, golden, report
+        )
+        if identity_rt is None or identity_rt.violations or not identity_ok:
+            result.verdict = SPLIT_MISMATCH
+            result.reason = "identity replay diverged from golden reference"
+            result.schedules_tested.append("identity")
+            result.failed_schedule = "identity"
+            return
+        if identity_rt.invocation_count(label) != self._golden_counts[label]:
+            result.verdict = SPLIT_MISMATCH
+            result.reason = "identity replay changed the invocation count"
+            result.failed_schedule = "identity"
+            return
+        result.schedules_tested.append("identity")
+        result.max_trip = identity_rt.max_trip_count(label)
+
+        if result.max_trip < 2:
+            result.verdict = COMMUTATIVE_VACUOUS
+            result.reason = "no invocation reached 2 iterations"
+            return
+
+        for schedule in self.schedules.testing_schedules():
+            runtime, outcome_ok = self._run_schedule(
+                instrumented.module, schedule, spec, golden, report
+            )
+            result.schedules_tested.append(schedule.name)
+            if runtime is None:
+                result.verdict = RUNTIME_FAULT
+                result.reason = f"fault under schedule {schedule.name}"
+                result.failed_schedule = schedule.name
+                return
+            if runtime.violations or not outcome_ok:
+                result.verdict = NON_COMMUTATIVE
+                result.reason = f"live-outs changed under {schedule.name}"
+                result.failed_schedule = schedule.name
+                return
+            if runtime.invocation_count(label) != self._golden_counts[label]:
+                result.verdict = NON_COMMUTATIVE
+                result.reason = f"invocation count changed under {schedule.name}"
+                result.failed_schedule = schedule.name
+                return
+        result.verdict = COMMUTATIVE
+
+    def _run_schedule(
+        self,
+        module: Module,
+        schedule: Schedule,
+        spec: VerifySpec,
+        golden: Dict[str, List],
+        report: DcaReport,
+    ):
+        """Run one test execution.
+
+        Returns ``(runtime, outcome_ok)``; ``(None, False)`` on a fault.
+        Under the strict policy, ``rt_verify`` compares loop live-outs
+        online; under the eventual policy only the final program outcome is
+        compared.
+        """
+        strict = self.liveout_policy == "strict"
+        runtime = DcaRuntime(
+            specs={spec.label: spec},
+            schedule=schedule,
+            golden=golden if strict else None,
+            rtol=self.rtol,
+            fail_fast=True,
+            capture_snapshots=strict,
+        )
+        interp = Interpreter(
+            module,
+            runtime=runtime,
+            max_steps=getattr(self, "_test_step_budget", self.max_steps),
+        )
+        report.executions += 1
+        try:
+            entry_result = interp.run(self.entry, self.args)
+        except CommutativityMismatch:
+            return runtime, True  # recorded in runtime.violations
+        except MiniCRuntimeError:
+            return None, False
+        outcome_ok = True
+        if not strict:
+            outcome = self._program_outcome(interp, entry_result)
+            golden_out, golden_ret, golden_globals = self._golden_outcome
+            outcome_ok = (
+                outcome[0] == golden_out
+                and outcome[1] == golden_ret
+                and snapshots_equal(golden_globals, outcome[2], rtol=self.rtol)
+            )
+        return runtime, outcome_ok

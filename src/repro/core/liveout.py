@@ -1,0 +1,109 @@
+"""Live-out snapshots (paper §IV-B3).
+
+At every ``rt_verify`` point the DCA runtime captures the loop's observable
+outcome: the values of its live-out scalars plus the entire heap reachable
+from its live-out references and reference-typed globals.  Snapshots are
+*canonical*: heap objects are renumbered in a deterministic DFS order from
+the roots, so two executions that allocate in different orders but build
+structurally identical state compare equal.
+
+Floating-point values are compared with a relative tolerance, because
+permuting a floating-point reduction legitimately reorders roundoff — the
+same reason the NPB verification routines use epsilon checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.interp.values import ArrayObj, StructObj
+
+#: Canonical scalar or reference-placeholder in a snapshot.
+SnapValue = object
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Canonicalized deep copy of values + reachable heap."""
+
+    #: One entry per root: a scalar value or ("ref", canonical_id).
+    roots: Tuple[SnapValue, ...]
+    #: Canonical object table: objects[i] describes canonical id i as
+    #: ("struct", name, (field values...)) or ("array", (elem values...)).
+    objects: Tuple[Tuple, ...]
+
+    def size(self) -> int:
+        return len(self.objects)
+
+
+def capture(roots: Sequence[object]) -> Snapshot:
+    """Snapshot ``roots`` (runtime values) and everything reachable."""
+    ids: Dict[int, int] = {}
+    order: List[object] = []
+
+    def visit(value: object) -> SnapValue:
+        if isinstance(value, (StructObj, ArrayObj)):
+            key = id(value)
+            if key not in ids:
+                ids[key] = len(order)
+                order.append(value)
+                # Traverse after registration (DFS preorder numbering);
+                # children handled in the main loop below.
+            return ("ref", ids[key])
+        return value
+
+    root_vals = tuple(visit(v) for v in roots)
+
+    # Breadth of traversal: order grows as we scan objects.
+    described: List[Tuple] = []
+    i = 0
+    while i < len(order):
+        obj = order[i]
+        if isinstance(obj, StructObj):
+            fields = tuple(visit(v) for v in obj.fields.values())
+            described.append(("struct", obj.struct_name, fields))
+        else:
+            elems = tuple(visit(v) for v in obj.data)
+            described.append(("array", elems))
+        i += 1
+    return Snapshot(roots=root_vals, objects=tuple(described))
+
+
+def _values_equal(a: SnapValue, b: SnapValue, rtol: float) -> bool:
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return a == b  # ("ref", id) placeholders
+    if isinstance(a, bool) or isinstance(b, bool):
+        # bools compare only with bools (True is not the int 1 here).
+        return isinstance(a, bool) and isinstance(b, bool) and a == b
+    if isinstance(a, float) or isinstance(b, float):
+        if a is None or b is None:
+            return a is None and b is None
+        return math.isclose(a, b, rel_tol=rtol, abs_tol=rtol)
+    return a == b
+
+
+def snapshots_equal(a: Snapshot, b: Snapshot, rtol: float = 1e-9) -> bool:
+    """Structural equality with float tolerance."""
+    if len(a.roots) != len(b.roots) or len(a.objects) != len(b.objects):
+        return False
+    for va, vb in zip(a.roots, b.roots):
+        if not _values_equal(va, vb, rtol):
+            return False
+    for oa, ob in zip(a.objects, b.objects):
+        if oa[0] != ob[0]:
+            return False
+        if oa[0] == "struct":
+            if oa[1] != ob[1] or len(oa[2]) != len(ob[2]):
+                return False
+            for va, vb in zip(oa[2], ob[2]):
+                if not _values_equal(va, vb, rtol):
+                    return False
+        else:
+            if len(oa[1]) != len(ob[1]):
+                return False
+            for va, vb in zip(oa[1], ob[1]):
+                if not _values_equal(va, vb, rtol):
+                    return False
+    return True

@@ -1,0 +1,79 @@
+"""DCA result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Verdict values, roughly ordered from best to worst.
+COMMUTATIVE = "commutative"
+COMMUTATIVE_VACUOUS = "commutative-vacuous"  # never saw 2+ iterations
+NON_COMMUTATIVE = "non-commutative"  # a permuted order changed live-outs
+SPLIT_MISMATCH = "split-mismatch"  # identity replay diverged from golden
+RUNTIME_FAULT = "runtime-fault"  # permuted execution crashed (§IV-E)
+UNTESTABLE = "untestable"  # outlining impossible (shape)
+ITERATOR_ONLY = "iterator-only"  # empty payload, nothing to permute
+NOT_EXERCISED = "not-exercised"  # workload never entered the loop
+EXCLUDED_IO = "excluded-io"  # I/O inside the loop (§IV-E)
+
+#: Verdicts DCA reports as (potentially) parallelizable.
+_COMMUTATIVE_VERDICTS = frozenset({COMMUTATIVE, COMMUTATIVE_VACUOUS})
+
+
+@dataclass
+class LoopResult:
+    """DCA's verdict for one source loop."""
+
+    label: str
+    function: str
+    line: int
+    kind: str
+    verdict: str
+    reason: str = ""
+    invocations: int = 0
+    max_trip: int = 0
+    schedules_tested: List[str] = field(default_factory=list)
+    failed_schedule: Optional[str] = None
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.verdict in _COMMUTATIVE_VERDICTS
+
+    @property
+    def qualified_name(self) -> str:
+        return self.label
+
+    def __str__(self) -> str:
+        extra = f" ({self.reason})" if self.reason else ""
+        return f"{self.label}: {self.verdict}{extra}"
+
+
+@dataclass
+class DcaReport:
+    """Full result of one DCA analysis run."""
+
+    entry: str
+    results: Dict[str, LoopResult] = field(default_factory=dict)
+    #: Total interpreted executions performed (golden + tests).
+    executions: int = 0
+
+    def loop(self, label: str) -> LoopResult:
+        return self.results[label]
+
+    def commutative_loops(self) -> List[LoopResult]:
+        return [r for r in self.results.values() if r.is_commutative]
+
+    def commutative_labels(self) -> List[str]:
+        return [r.label for r in self.results.values() if r.is_commutative]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results.values():
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [f"DCA report (entry={self.entry}, {self.executions} executions)"]
+        for label in sorted(self.results):
+            lines.append(f"  {self.results[label]}")
+        return "\n".join(lines)

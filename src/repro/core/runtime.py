@@ -1,0 +1,186 @@
+"""The DCA runtime library (paper Fig. 3, right column).
+
+One :class:`DcaRuntime` instance accompanies one program execution and
+services the ``rt_*`` intrinsics:
+
+* ``rt_iterator_record`` — linearizes the iterator: appends the payload's
+  argument tuple for the current iteration to the invocation buffer;
+* ``rt_iterator_permute`` — freezes the buffer and applies the schedule's
+  permutation;
+* ``rt_iterator_next`` / ``rt_iterator_get`` — drive the dispatch loop;
+* ``rt_verify`` — captures the live-out snapshot; in test mode, compares
+  it online against the golden reference and aborts on the first mismatch.
+
+Invocation states are kept per loop label as a *stack*, so re-entrant
+invocations (recursive callers, a payload reaching the same loop again)
+nest correctly — inner invocations complete before outer ones in both the
+golden and the test execution, keeping completion order aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instrument import (
+    RT_GET,
+    RT_NEXT,
+    RT_PERMUTE,
+    RT_RECORD,
+    RT_VERIFY,
+    VerifySpec,
+)
+from repro.core.liveout import Snapshot, capture, snapshots_equal
+from repro.core.schedules import Schedule
+from repro.interp.interpreter import Interpreter, RuntimeHooks
+from repro.interp.values import MiniCRuntimeError
+
+
+class CommutativityMismatch(Exception):
+    """Raised in fail-fast test mode on the first live-out divergence."""
+
+    def __init__(self, label: str, invocation: int):
+        self.label = label
+        self.invocation = invocation
+        super().__init__(f"live-out mismatch for {label} (invocation {invocation})")
+
+
+@dataclass
+class _Invocation:
+    phase: str = "recording"  # "recording" | "iterating"
+    buffer: List[Tuple] = field(default_factory=list)
+    order: List[int] = field(default_factory=list)
+    pos: int = -1
+
+
+@dataclass
+class Violation:
+    label: str
+    invocation: int
+
+
+class DcaRuntime(RuntimeHooks):
+    """Runtime state for one observed or commutativity-testing execution."""
+
+    def __init__(
+        self,
+        specs: Dict[str, VerifySpec],
+        schedule: Optional[Schedule] = None,
+        golden: Optional[Dict[str, List[Snapshot]]] = None,
+        rtol: float = 1e-9,
+        fail_fast: bool = True,
+        capture_snapshots: bool = True,
+    ):
+        self.specs = specs
+        self.schedule = schedule
+        self.golden = golden
+        self.rtol = rtol
+        self.fail_fast = fail_fast
+        #: When False, rt_verify only counts invocations (eventual policy).
+        self.capture_snapshots = capture_snapshots
+
+        #: Completed live-out snapshots per label, in completion order.
+        self.snapshots: Dict[str, List[Snapshot]] = {}
+        #: Completed invocations per label (independent of snapshotting).
+        self.invocations: Dict[str, int] = {}
+        #: Trip counts observed by the recording stage per completed invocation.
+        self.trip_counts: Dict[str, List[int]] = {}
+        self.violations: List[Violation] = []
+        self._active: Dict[str, List[_Invocation]] = {}
+
+    # -- intrinsic dispatch -----------------------------------------------------
+
+    def handle_intrinsic(
+        self, interp: Interpreter, name: str, args: List[object]
+    ) -> object:
+        label = args[0]
+        if name == RT_RECORD:
+            self._record(label, tuple(args[1:]))
+            return None
+        if name == RT_PERMUTE:
+            self._permute(label)
+            return None
+        if name == RT_NEXT:
+            return self._next(label)
+        if name == RT_GET:
+            return self._get(label, args[1])
+        if name == RT_VERIFY:
+            self._verify(interp, label, args[1:])
+            return None
+        raise MiniCRuntimeError(f"unknown DCA intrinsic {name!r}")
+
+    # -- iterator linearization ---------------------------------------------------
+
+    def _stack(self, label: str) -> List[_Invocation]:
+        return self._active.setdefault(label, [])
+
+    def _record(self, label: str, values: Tuple) -> None:
+        stack = self._stack(label)
+        if not stack or stack[-1].phase != "recording":
+            stack.append(_Invocation())
+        stack[-1].buffer.append(values)
+
+    def _permute(self, label: str) -> None:
+        if self.schedule is None:
+            raise MiniCRuntimeError("rt_iterator_permute without a schedule")
+        stack = self._stack(label)
+        if not stack or stack[-1].phase != "recording":
+            stack.append(_Invocation())
+        inv = stack[-1]
+        inv.phase = "iterating"
+        inv.order = self.schedule.permutation(len(inv.buffer))
+        inv.pos = -1
+
+    def _top(self, label: str) -> _Invocation:
+        stack = self._stack(label)
+        if not stack:
+            raise MiniCRuntimeError(f"no active DCA invocation for {label}")
+        return stack[-1]
+
+    def _next(self, label: str) -> bool:
+        inv = self._top(label)
+        inv.pos += 1
+        return inv.pos < len(inv.order)
+
+    def _get(self, label: str, index: int) -> object:
+        inv = self._top(label)
+        return inv.buffer[inv.order[inv.pos]][index]
+
+    # -- verification ------------------------------------------------------------
+
+    def _verify(self, interp: Interpreter, label: str, reg_values: List[object]) -> None:
+        stack = self._active.get(label)
+        if stack:
+            inv = stack.pop()
+            self.trip_counts.setdefault(label, []).append(len(inv.buffer))
+        self.invocations[label] = self.invocations.get(label, 0) + 1
+        if not self.capture_snapshots:
+            return
+        spec = self.specs[label]
+        roots = list(reg_values)
+        for gname in spec.ref_globals:
+            roots.append(interp.globals[gname])
+        for gname in spec.scalar_globals:
+            roots.append(interp.globals[gname])
+        snap = capture(roots)
+        done = self.snapshots.setdefault(label, [])
+        index = len(done)
+        done.append(snap)
+        if self.golden is not None:
+            reference = self.golden.get(label, [])
+            ok = index < len(reference) and snapshots_equal(
+                reference[index], snap, rtol=self.rtol
+            )
+            if not ok:
+                self.violations.append(Violation(label, index))
+                if self.fail_fast:
+                    raise CommutativityMismatch(label, index)
+
+    # -- results ---------------------------------------------------------------
+
+    def max_trip_count(self, label: str) -> int:
+        counts = self.trip_counts.get(label, [])
+        return max(counts) if counts else 0
+
+    def invocation_count(self, label: str) -> int:
+        return self.invocations.get(label, 0)

@@ -1,0 +1,50 @@
+"""End-to-end convenience drivers: source text → IR module → execution."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.checker import check
+from repro.lang.parser import parse
+from repro.ir.function import Module
+from repro.ir.lowering import lower
+from repro.ir.verify import verify_module
+
+
+def compile_program(source: str, verify: bool = True, optimize: bool = True) -> Module:
+    """Compile MiniC source text to a verified IR module.
+
+    ``optimize`` runs the standard cleanup pipeline (copy fusion), which
+    also canonicalizes induction/reduction shapes for the analyses.
+    """
+    from repro.ir.passes import run_cleanups
+
+    program = parse(source)
+    checked = check(program)
+    module = lower(checked)
+    if optimize:
+        run_cleanups(module)
+    if verify:
+        verify_module(module)
+    return module
+
+
+def run_program(
+    source_or_module,
+    entry: str = "main",
+    args: Optional[List[object]] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[object, str]:
+    """Compile (if needed) and execute a program.
+
+    Returns ``(return_value, captured_stdout)``.
+    """
+    from repro.interp.interpreter import Interpreter
+
+    if isinstance(source_or_module, Module):
+        module = source_or_module
+    else:
+        module = compile_program(source_or_module)
+    interp = Interpreter(module, max_steps=max_steps)
+    result = interp.run(entry, args or [])
+    return result, interp.output_text()

@@ -1,0 +1,28 @@
+"""Instrumentable IR interpreter, heap model, events and profiler."""
+
+from repro.interp.events import Location, LoopCtx, Observer
+from repro.interp.interpreter import Interpreter, RuntimeHooks
+from repro.interp.profiler import Profiler
+from repro.interp.values import (
+    ArrayObj,
+    Heap,
+    MiniCRuntimeError,
+    StructObj,
+    format_value,
+    truthy,
+)
+
+__all__ = [
+    "ArrayObj",
+    "Heap",
+    "Interpreter",
+    "Location",
+    "LoopCtx",
+    "MiniCRuntimeError",
+    "Observer",
+    "Profiler",
+    "RuntimeHooks",
+    "StructObj",
+    "format_value",
+    "truthy",
+]

@@ -1,0 +1,78 @@
+"""Execution-cost profiler.
+
+Attributes the number of executed IR instructions to the dynamic loop
+stack.  This provides:
+
+* **sequential coverage** per loop — the fraction of total executed
+  instructions spent inside the loop (paper Tables II and IV);
+* **per-iteration costs** for selected loops — the work distribution the
+  simulated multicore executor schedules (paper Figs. 5–7);
+* hot-loop ranking used by the profitability selection step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.interp.events import LoopCtx
+
+
+class Profiler:
+    """Counts executed instructions per loop (inclusive of nested work)."""
+
+    def __init__(self, iteration_detail_for: Optional[Set[str]] = None):
+        #: Inclusive instruction count per loop label.
+        self.loop_cost: Dict[str, int] = {}
+        #: Total instructions executed by the program.
+        self.total_cost = 0
+        #: (label, invocation) -> list of per-iteration inclusive costs.
+        self._iteration_costs: Dict[Tuple[str, int], List[int]] = {}
+        self._detail = iteration_detail_for or set()
+
+    # -- interpreter hook -----------------------------------------------------
+
+    def on_block(self, n_instrs: int, loop_stack: Sequence[LoopCtx]) -> None:
+        self.total_cost += n_instrs
+        for ctx in loop_stack:
+            label = ctx.label
+            self.loop_cost[label] = self.loop_cost.get(label, 0) + n_instrs
+            if label in self._detail:
+                key = (label, ctx.invocation)
+                costs = self._iteration_costs.get(key)
+                if costs is None:
+                    costs = []
+                    self._iteration_costs[key] = costs
+                while len(costs) <= ctx.iteration:
+                    costs.append(0)
+                costs[ctx.iteration] += n_instrs
+
+    # -- results ---------------------------------------------------------------
+
+    def coverage(self, label: str) -> float:
+        """Fraction of program execution spent in the loop (0..1)."""
+        if self.total_cost == 0:
+            return 0.0
+        return self.loop_cost.get(label, 0) / self.total_cost
+
+    def coverage_of(self, labels: Sequence[str]) -> float:
+        """Combined coverage of non-nested loops (sums their inclusive cost).
+
+        Callers must pass loops that do not contain one another, otherwise
+        shared work would be double-counted.
+        """
+        if self.total_cost == 0:
+            return 0.0
+        return sum(self.loop_cost.get(l, 0) for l in labels) / self.total_cost
+
+    def iteration_costs(self, label: str, invocation: int) -> List[int]:
+        return list(self._iteration_costs.get((label, invocation), []))
+
+    def invocations(self, label: str) -> List[int]:
+        return sorted(
+            inv for (lbl, inv) in self._iteration_costs if lbl == label
+        )
+
+    def hottest(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` most expensive loops as (label, cost) pairs."""
+        ranked = sorted(self.loop_cost.items(), key=lambda kv: -kv[1])
+        return ranked[:n]

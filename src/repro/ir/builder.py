@@ -1,0 +1,58 @@
+"""Helper for constructing IR functions block by block."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instr, Reg
+from repro.lang.types import Type
+
+
+class IRBuilder:
+    """Stateful builder appending instructions to a current block."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.current: Optional[BasicBlock] = None
+        self._temp_counter = 0
+        self._block_counter = 0
+
+    # -- blocks -------------------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        name = f"{hint}{self._block_counter}"
+        self._block_counter += 1
+        return self.func.new_block(name)
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.current = block
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.current is not None and self.current.terminator is not None
+
+    # -- registers ----------------------------------------------------------
+
+    def new_temp(self, t: Optional[Type] = None, hint: str = "t") -> Reg:
+        reg = Reg(f"{hint}{self._temp_counter}")
+        self._temp_counter += 1
+        if t is not None:
+            self.func.reg_types[reg] = t
+        return reg
+
+    def declare_reg(self, name: str, t: Type) -> Reg:
+        reg = Reg(name)
+        self.func.reg_types[reg] = t
+        return reg
+
+    # -- instructions ---------------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        assert self.current is not None, "no current block"
+        if self.current.terminator is not None:
+            # Dead code after a terminator (e.g. stmts after `return`) is
+            # silently dropped, mirroring a trivial DCE.
+            return instr
+        self.current.append(instr)
+        return instr

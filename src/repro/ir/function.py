@@ -1,0 +1,155 @@
+"""IR containers: basic blocks, functions and modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.instructions import Branch, Instr, Jump, Reg, Ret
+from repro.lang.types import StructDef, Type
+
+
+@dataclass
+class LoopInfoMeta:
+    """Source-level metadata for a loop, keyed by its stable label."""
+
+    label: str
+    line: int
+    #: Name of the loop's header block.
+    header: str
+    #: Source construct ("for" or "while").
+    kind: str = "for"
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instrs: List[Instr] = []
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> List[str]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            if term.true_target == term.false_target:
+                return [term.true_target]
+            return [term.true_target, term.false_target]
+        return []
+
+    def body(self) -> List[Instr]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def append(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.name}, {len(self.instrs)} instrs)"
+
+
+class Function:
+    """A function: parameter registers, typed registers and a CFG."""
+
+    def __init__(self, name: str, params: List[Tuple[Reg, Type]], return_type: Type):
+        self.name = name
+        self.params = params
+        self.return_type = return_type
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.block_order: List[str] = []
+        self.entry: str = ""
+        #: Best-effort static types for registers (filled by lowering).
+        self.reg_types: Dict[Reg, Type] = {}
+        #: Source loops declared in this function, in lowering order.
+        self.loops: Dict[str, LoopInfoMeta] = {}
+
+    def new_block(self, name: str) -> BasicBlock:
+        if name in self.blocks:
+            raise ValueError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        if not self.entry:
+            self.entry = name
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        return self.blocks[name]
+
+    def ordered_blocks(self) -> List[BasicBlock]:
+        return [self.blocks[n] for n in self.block_order]
+
+    def instructions(self) -> Iterator[Instr]:
+        for block in self.ordered_blocks():
+            yield from block.instrs
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {n: [] for n in self.block_order}
+        for block in self.ordered_blocks():
+            for succ in block.successors():
+                preds[succ].append(block.name)
+        return preds
+
+    def remove_unreachable_blocks(self) -> None:
+        """Drop blocks not reachable from the entry."""
+        reached = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            stack.extend(self.blocks[name].successors())
+        self.block_order = [n for n in self.block_order if n in reached]
+        self.blocks = {n: b for n, b in self.blocks.items() if n in reached}
+        self.loops = {
+            label: meta for label, meta in self.loops.items() if meta.header in reached
+        }
+
+    def param_regs(self) -> List[Reg]:
+        return [reg for reg, _ in self.params]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Function({self.name}, {len(self.blocks)} blocks)"
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable."""
+
+    name: str
+    type: Type
+    #: Constant initializer value (scalars only); references start as null.
+    init: object = None
+
+
+@dataclass
+class Module:
+    """A compiled MiniC program."""
+
+    structs: Dict[str, StructDef] = field(default_factory=dict)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+    functions: Dict[str, Function] = field(default_factory=dict)
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def add_function(self, func: Function) -> None:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def all_loop_labels(self) -> List[str]:
+        labels: List[str] = []
+        for func in self.functions.values():
+            labels.extend(func.loops)
+        return labels

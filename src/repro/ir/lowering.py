@@ -1,0 +1,570 @@
+"""AST → IR lowering.
+
+Lowering turns the checked MiniC AST into the three-address CFG IR:
+
+* locals and parameters become virtual registers (MiniC has no address-of
+  operator, so scalars never need stack slots);
+* globals are accessed through ``LoadGlobal``/``StoreGlobal``;
+* control flow becomes explicit blocks with ``Jump``/``Branch`` terminators;
+* ``&&``/``||`` short-circuit through control flow;
+* every source loop receives a stable label ``<function>.L<n>`` recorded in
+  :attr:`repro.ir.function.Function.loops` — all analyses and reports key
+  loops by this label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import is_builtin
+from repro.lang.checker import CheckedProgram
+from repro.lang.errors import TypeError_
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, GlobalVar, Module
+from repro.ir.instructions import (
+    ArrayLen,
+    BinOp,
+    Branch,
+    Call,
+    CallBuiltin,
+    Const,
+    GetField,
+    GetIndex,
+    Jump,
+    LoadGlobal,
+    Mov,
+    NewArray,
+    NewStruct,
+    Operand,
+    Reg,
+    Ret,
+    SetField,
+    SetIndex,
+    StoreGlobal,
+    UnOp,
+)
+
+_DEFAULTS = {
+    IntType: 0,
+    FloatType: 0.0,
+    BoolType: False,
+}
+
+
+def default_value(t: Type) -> object:
+    """The zero-initial value for a type (null for references)."""
+    for klass, value in _DEFAULTS.items():
+        if isinstance(t, klass):
+            return value
+    return None
+
+
+class _FuncLowering:
+    """Lowers one function body."""
+
+    def __init__(self, checked: CheckedProgram, decl: ast.FuncDecl, label_prefix: str):
+        self.checked = checked
+        self.decl = decl
+        params: List[Tuple[Reg, Type]] = []
+        self._scopes: List[Dict[str, Reg]] = [{}]
+        self._name_counts: Dict[str, int] = {}
+        self.func = Function(decl.name, params, decl.return_type)
+        self.builder = IRBuilder(self.func)
+        for p in decl.params:
+            reg = self._declare_local(p.name, p.param_type)
+            params.append((reg, p.param_type))
+        self._loop_counter = 0
+        self._label_prefix = label_prefix
+        #: (break_target, continue_target) stack.
+        self._loop_targets: List[Tuple[str, str]] = []
+
+    # -- scope management -----------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def _declare_local(self, name: str, t: Type) -> Reg:
+        count = self._name_counts.get(name, 0)
+        self._name_counts[name] = count + 1
+        reg_name = name if count == 0 else f"{name}.{count}"
+        reg = self.builder.declare_reg(reg_name, t)
+        self._scopes[-1][name] = reg
+        return reg
+
+    def _lookup_local(self, name: str) -> Optional[Reg]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- main entry -------------------------------------------------------------
+
+    def lower(self) -> Function:
+        entry = self.builder.new_block("entry")
+        self.builder.set_block(entry)
+        self._lower_block(self.decl.body)
+        if not self.builder.is_terminated:
+            if isinstance(self.decl.return_type, VoidType):
+                self.builder.emit(Ret(None))
+            else:
+                value = default_value(self.decl.return_type)
+                self.builder.emit(Ret(Const(value, self.decl.return_type)))
+        self.func.remove_unreachable_blocks()
+        return self.func
+
+    # -- statements ---------------------------------------------------------------
+
+    def _lower_block(self, stmts: List[ast.Stmt]) -> None:
+        self._push_scope()
+        for stmt in stmts:
+            if self.builder.is_terminated:
+                break  # unreachable code after return/break/continue
+            self._lower_stmt(stmt)
+        self._pop_scope()
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            target = self._loop_targets[-1][0]
+            self.builder.emit(Jump(target, line=stmt.line))
+        elif isinstance(stmt, ast.Continue):
+            target = self._loop_targets[-1][1]
+            self.builder.emit(Jump(target, line=stmt.line))
+        else:  # pragma: no cover
+            raise TypeError_(f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def _lower_vardecl(self, stmt: ast.VarDecl) -> None:
+        if stmt.init is not None:
+            value = self._lower_expr(stmt.init)
+            value = self._coerce(value, stmt.init.type, stmt.var_type, stmt.line)
+        else:
+            value = Const(default_value(stmt.var_type), stmt.var_type)
+        reg = self._declare_local(stmt.name, stmt.var_type)
+        self.builder.emit(Mov(reg, value, line=stmt.line))
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        if stmt.compound_op is not None:
+            self._lower_compound_assign(stmt)
+            return
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            value = self._lower_expr(stmt.value)
+            local = self._lookup_local(target.ident)
+            if local is not None:
+                value = self._coerce(
+                    value, stmt.value.type, self.func.reg_types[local], stmt.line
+                )
+                self.builder.emit(Mov(local, value, line=stmt.line))
+            else:
+                gtype = self.checked.globals[target.ident]
+                value = self._coerce(value, stmt.value.type, gtype, stmt.line)
+                self.builder.emit(StoreGlobal(target.ident, value, line=stmt.line))
+        elif isinstance(target, ast.FieldAccess):
+            obj = self._lower_expr(target.base)
+            value = self._lower_expr(stmt.value)
+            value = self._coerce(value, stmt.value.type, target.type, stmt.line)
+            self.builder.emit(SetField(obj, target.field_name, value, line=stmt.line))
+        elif isinstance(target, ast.IndexAccess):
+            arr = self._lower_expr(target.base)
+            index = self._lower_expr(target.index)
+            value = self._lower_expr(stmt.value)
+            value = self._coerce(value, stmt.value.type, target.type, stmt.line)
+            self.builder.emit(SetIndex(arr, index, value, line=stmt.line))
+        else:  # pragma: no cover - checker rejects other targets
+            raise TypeError_("bad assignment target", stmt.line)
+
+    def _lower_compound_assign(self, stmt: ast.Assign) -> None:
+        """``target op= value`` with the lvalue evaluated exactly once.
+
+        Produces the canonical read-modify-write shape (for scalars:
+        ``x = x op e``; for elements: ``t = a[i]; t2 = t op e; a[i] = t2``)
+        that the induction/reduction/histogram matchers recognize.
+        """
+        target = stmt.target
+        op = stmt.compound_op
+        ttype = target.type
+        rhs = self._lower_expr(stmt.value)
+        if isinstance(ttype, FloatType):
+            rhs = self._coerce(rhs, stmt.value.type, FLOAT, stmt.line)
+
+        if isinstance(target, ast.Name):
+            local = self._lookup_local(target.ident)
+            if local is not None:
+                self.builder.emit(
+                    BinOp(local, op, local, rhs, result_type=ttype, line=stmt.line)
+                )
+                return
+            old = self.builder.new_temp(ttype, hint="g")
+            self.builder.emit(LoadGlobal(old, target.ident, line=stmt.line))
+            new = self.builder.new_temp(ttype)
+            self.builder.emit(
+                BinOp(new, op, old, rhs, result_type=ttype, line=stmt.line)
+            )
+            self.builder.emit(StoreGlobal(target.ident, new, line=stmt.line))
+            return
+        if isinstance(target, ast.FieldAccess):
+            obj = self._lower_expr(target.base)
+            old = self.builder.new_temp(ttype, hint="f")
+            self.builder.emit(GetField(old, obj, target.field_name, line=stmt.line))
+            new = self.builder.new_temp(ttype)
+            self.builder.emit(
+                BinOp(new, op, old, rhs, result_type=ttype, line=stmt.line)
+            )
+            self.builder.emit(
+                SetField(obj, target.field_name, new, line=stmt.line)
+            )
+            return
+        if isinstance(target, ast.IndexAccess):
+            arr = self._lower_expr(target.base)
+            idx = self._lower_expr(target.index)
+            old = self.builder.new_temp(ttype, hint="e")
+            self.builder.emit(GetIndex(old, arr, idx, line=stmt.line))
+            new = self.builder.new_temp(ttype)
+            self.builder.emit(
+                BinOp(new, op, old, rhs, result_type=ttype, line=stmt.line)
+            )
+            self.builder.emit(SetIndex(arr, idx, new, line=stmt.line))
+            return
+        raise TypeError_("bad compound assignment target", stmt.line)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self._lower_condition(stmt.cond)
+        then_bb = self.builder.new_block("if.then")
+        merge_bb = self.builder.new_block("if.end")
+        else_bb = merge_bb
+        if stmt.else_body:
+            else_bb = self.builder.new_block("if.else")
+        self.builder.emit(Branch(cond, then_bb.name, else_bb.name, line=stmt.line))
+
+        self.builder.set_block(then_bb)
+        self._lower_block(stmt.then_body)
+        if not self.builder.is_terminated:
+            self.builder.emit(Jump(merge_bb.name, line=stmt.line))
+
+        if stmt.else_body:
+            self.builder.set_block(else_bb)
+            self._lower_block(stmt.else_body)
+            if not self.builder.is_terminated:
+                self.builder.emit(Jump(merge_bb.name, line=stmt.line))
+
+        self.builder.set_block(merge_bb)
+
+    def _new_loop_label(self, line: int, kind: str, header: str) -> str:
+        label = f"{self._label_prefix}.L{self._loop_counter}"
+        self._loop_counter += 1
+        from repro.ir.function import LoopInfoMeta
+
+        self.func.loops[label] = LoopInfoMeta(
+            label=label, line=line, header=header, kind=kind
+        )
+        return label
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        header = self.builder.new_block("while.header")
+        body = self.builder.new_block("while.body")
+        exit_bb = self.builder.new_block("while.end")
+        self._new_loop_label(stmt.line, "while", header.name)
+
+        self.builder.emit(Jump(header.name, line=stmt.line))
+        self.builder.set_block(header)
+        cond = self._lower_condition(stmt.cond)
+        self.builder.emit(Branch(cond, body.name, exit_bb.name, line=stmt.line))
+
+        self._loop_targets.append((exit_bb.name, header.name))
+        self.builder.set_block(body)
+        self._lower_block(stmt.body)
+        if not self.builder.is_terminated:
+            self.builder.emit(Jump(header.name, line=stmt.line))
+        self._loop_targets.pop()
+
+        self.builder.set_block(exit_bb)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self._push_scope()  # for-init variables scope over the whole loop
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        header = self.builder.new_block("for.header")
+        body = self.builder.new_block("for.body")
+        step_bb = self.builder.new_block("for.step")
+        exit_bb = self.builder.new_block("for.end")
+        self._new_loop_label(stmt.line, "for", header.name)
+
+        self.builder.emit(Jump(header.name, line=stmt.line))
+        self.builder.set_block(header)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            self.builder.emit(Branch(cond, body.name, exit_bb.name, line=stmt.line))
+        else:
+            self.builder.emit(Jump(body.name, line=stmt.line))
+
+        self._loop_targets.append((exit_bb.name, step_bb.name))
+        self.builder.set_block(body)
+        self._lower_block(stmt.body)
+        if not self.builder.is_terminated:
+            self.builder.emit(Jump(step_bb.name, line=stmt.line))
+        self._loop_targets.pop()
+
+        self.builder.set_block(step_bb)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        if not self.builder.is_terminated:
+            self.builder.emit(Jump(header.name, line=stmt.line))
+
+        self.builder.set_block(exit_bb)
+        self._pop_scope()
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.builder.emit(Ret(None, line=stmt.line))
+            return
+        value = self._lower_expr(stmt.value)
+        value = self._coerce(
+            value, stmt.value.type, self.decl.return_type, stmt.line
+        )
+        self.builder.emit(Ret(value, line=stmt.line))
+
+    # -- expressions -----------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value, INT)
+        if isinstance(expr, ast.FloatLit):
+            return Const(expr.value, FLOAT)
+        if isinstance(expr, ast.BoolLit):
+            return Const(expr.value, BOOL)
+        if isinstance(expr, ast.StringLit):
+            return Const(expr.value, None)
+        if isinstance(expr, ast.NullLit):
+            return Const(None, expr.type)
+        if isinstance(expr, ast.Name):
+            local = self._lookup_local(expr.ident)
+            if local is not None:
+                return local
+            dest = self.builder.new_temp(expr.type, hint="g")
+            self.builder.emit(LoadGlobal(dest, expr.ident, line=expr.line))
+            return dest
+        if isinstance(expr, ast.FieldAccess):
+            obj = self._lower_expr(expr.base)
+            dest = self.builder.new_temp(expr.type, hint="f")
+            self.builder.emit(GetField(dest, obj, expr.field_name, line=expr.line))
+            return dest
+        if isinstance(expr, ast.IndexAccess):
+            arr = self._lower_expr(expr.base)
+            idx = self._lower_expr(expr.index)
+            dest = self.builder.new_temp(expr.type, hint="e")
+            self.builder.emit(GetIndex(dest, arr, idx, line=expr.line))
+            return dest
+        if isinstance(expr, ast.NewStruct):
+            dest = self.builder.new_temp(expr.type, hint="obj")
+            self.builder.emit(NewStruct(dest, expr.struct_name, line=expr.line))
+            return dest
+        if isinstance(expr, ast.NewArray):
+            length = self._lower_expr(expr.length)
+            dest = self.builder.new_temp(expr.type, hint="arr")
+            self.builder.emit(NewArray(dest, expr.elem_type, length, line=expr.line))
+            return dest
+        if isinstance(expr, ast.UnOp):
+            return self._lower_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        raise TypeError_(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def _lower_unop(self, expr: ast.UnOp) -> Operand:
+        if expr.op == "!":
+            cond = self._lower_condition(expr.operand)
+            dest = self.builder.new_temp(BOOL)
+            self.builder.emit(UnOp(dest, "!", cond, line=expr.line))
+            return dest
+        operand = self._lower_expr(expr.operand)
+        dest = self.builder.new_temp(expr.type)
+        self.builder.emit(UnOp(dest, expr.op, operand, line=expr.line))
+        return dest
+
+    def _lower_binop(self, expr: ast.BinOp) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_shortcircuit(expr)
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if op in ("+", "-", "*", "/", "%"):
+            # Widen mixed int/float arithmetic.
+            if isinstance(expr.type, FloatType):
+                lhs = self._coerce(lhs, expr.lhs.type, FLOAT, expr.line)
+                rhs = self._coerce(rhs, expr.rhs.type, FLOAT, expr.line)
+            result_type: Type = expr.type
+        elif op in ("<", "<=", ">", ">=", "==", "!="):
+            if (
+                expr.lhs.type is not None
+                and expr.rhs.type is not None
+                and expr.lhs.type.is_numeric()
+                and expr.rhs.type.is_numeric()
+                and expr.lhs.type != expr.rhs.type
+            ):
+                lhs = self._coerce(lhs, expr.lhs.type, FLOAT, expr.line)
+                rhs = self._coerce(rhs, expr.rhs.type, FLOAT, expr.line)
+            result_type = BOOL
+        else:  # pragma: no cover - checker rejects others
+            raise TypeError_(f"cannot lower operator {op}", expr.line)
+        dest = self.builder.new_temp(result_type)
+        self.builder.emit(
+            BinOp(dest, op, lhs, rhs, result_type=result_type, line=expr.line)
+        )
+        return dest
+
+    def _lower_shortcircuit(self, expr: ast.BinOp) -> Operand:
+        dest = self.builder.new_temp(BOOL, hint="sc")
+        rhs_bb = self.builder.new_block("sc.rhs")
+        end_bb = self.builder.new_block("sc.end")
+        lhs = self._lower_condition(expr.lhs)
+        self.builder.emit(Mov(dest, lhs, line=expr.line))
+        if expr.op == "&&":
+            self.builder.emit(Branch(lhs, rhs_bb.name, end_bb.name, line=expr.line))
+        else:
+            self.builder.emit(Branch(lhs, end_bb.name, rhs_bb.name, line=expr.line))
+        self.builder.set_block(rhs_bb)
+        rhs = self._lower_condition(expr.rhs)
+        self.builder.emit(Mov(dest, rhs, line=expr.line))
+        self.builder.emit(Jump(end_bb.name, line=expr.line))
+        self.builder.set_block(end_bb)
+        return dest
+
+    def _lower_call(self, expr: ast.Call) -> Optional[Operand]:
+        args = [self._lower_expr(a) for a in expr.args]
+        if is_builtin(expr.func):
+            return self._lower_builtin(expr, args)
+        sig = self.checked.functions[expr.func]
+        coerced = [
+            self._coerce(a, node.type, ptype, expr.line)
+            for a, node, ptype in zip(args, expr.args, sig.param_types)
+        ]
+        dest = None
+        if not isinstance(sig.return_type, VoidType):
+            dest = self.builder.new_temp(sig.return_type, hint="r")
+        self.builder.emit(Call(dest, expr.func, coerced, line=expr.line))
+        return dest
+
+    def _lower_builtin(self, expr: ast.Call, args: List[Operand]) -> Optional[Operand]:
+        name = expr.func
+        if name == "len":
+            dest = self.builder.new_temp(INT, hint="n")
+            self.builder.emit(ArrayLen(dest, args[0], line=expr.line))
+            return dest
+        if name == "print":
+            self.builder.emit(CallBuiltin(None, "print", args, line=expr.line))
+            return None
+        # Math builtins widen int arguments to float where required.
+        from repro.lang.builtins import BUILTINS
+
+        builtin = BUILTINS[name]
+        if builtin.param_types is not None:
+            args = [
+                self._coerce(a, node.type, ptype, expr.line)
+                for a, node, ptype in zip(args, expr.args, builtin.param_types)
+            ]
+        dest = self.builder.new_temp(expr.type, hint="m")
+        self.builder.emit(CallBuiltin(dest, name, args, line=expr.line))
+        return dest
+
+    # -- conditions and coercions -------------------------------------------------
+
+    def _lower_condition(self, expr: ast.Expr) -> Operand:
+        """Lower an expression in condition position to a bool operand."""
+        value = self._lower_expr(expr)
+        t = expr.type
+        if isinstance(t, BoolType):
+            return value
+        dest = self.builder.new_temp(BOOL, hint="c")
+        if t is not None and t.is_reference():
+            zero: Operand = Const(None, t)
+        else:
+            zero = Const(0, INT)
+        self.builder.emit(
+            BinOp(dest, "!=", value, zero, result_type=BOOL, line=expr.line)
+        )
+        return dest
+
+    def _coerce(
+        self,
+        value: Operand,
+        source: Optional[Type],
+        target: Optional[Type],
+        line: int,
+    ) -> Operand:
+        """Insert an int→float widening when needed."""
+        if (
+            isinstance(target, FloatType)
+            and isinstance(source, IntType)
+        ):
+            if isinstance(value, Const):
+                return Const(float(value.value), FLOAT)
+            dest = self.builder.new_temp(FLOAT, hint="w")
+            self.builder.emit(UnOp(dest, "itof", value, line=line))
+            return dest
+        return value
+
+
+def lower(checked: CheckedProgram) -> Module:
+    """Lower a checked program to an IR module."""
+    module = Module(structs=dict(checked.structs))
+    for decl in checked.program.globals:
+        module.globals[decl.name] = GlobalVar(
+            name=decl.name,
+            type=decl.var_type,
+            init=_eval_global_init(decl),
+        )
+    for fdecl in checked.program.functions:
+        lowering = _FuncLowering(checked, fdecl, label_prefix=fdecl.name)
+        module.add_function(lowering.lower())
+    return module
+
+
+def _eval_global_init(decl: ast.GlobalDecl) -> object:
+    """Globals may only have constant scalar initializers."""
+    init = decl.init
+    if init is None:
+        return default_value(decl.var_type)
+    if isinstance(init, ast.IntLit):
+        if isinstance(decl.var_type, FloatType):
+            return float(init.value)
+        return init.value
+    if isinstance(init, ast.FloatLit):
+        return init.value
+    if isinstance(init, ast.BoolLit):
+        return init.value
+    if isinstance(init, ast.NullLit):
+        return None
+    raise TypeError_(
+        "global initializers must be literal constants", decl.line
+    )

@@ -1,0 +1,80 @@
+"""IR cleanup passes run after lowering.
+
+``fuse_single_use_temps`` is a tiny copy-fusion: lowering materializes
+every expression into a fresh temporary and then ``mov``s it into the
+destination register (``%t = add %i, 1`` / ``%i = mov %t``).  When the
+temporary has exactly one definition and exactly one use (the mov), the
+defining instruction can write the destination directly.  Besides shaving
+an instruction per assignment, this restores the canonical shapes
+(``i = i + 1``, ``s = s + x``) that the induction/reduction matchers and
+the affine analysis expect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Mov, Reg
+
+
+def fuse_single_use_temps(func: Function) -> int:
+    """Fuse ``t = <op> ...; x = mov t`` pairs.  Returns #fused."""
+    def_counts: Dict[Reg, int] = {}
+    use_counts: Dict[Reg, int] = {}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+        for reg in instr.uses():
+            use_counts[reg] = use_counts.get(reg, 0) + 1
+
+    fused = 0
+    for block in func.ordered_blocks():
+        instrs = block.instrs
+        i = 0
+        while i < len(instrs):
+            instr = instrs[i]
+            if (
+                isinstance(instr, Mov)
+                and isinstance(instr.src, Reg)
+                and def_counts.get(instr.src, 0) == 1
+                and use_counts.get(instr.src, 0) == 1
+                and instr.src != instr.dest
+            ):
+                temp = instr.src
+                dest = instr.dest
+                # Find the temp's defining instruction earlier in this block,
+                # ensuring neither dest nor temp is redefined in between and
+                # dest is not read in between (its old value must stay
+                # observable up to the mov).
+                for j in range(i - 1, -1, -1):
+                    prev = instrs[j]
+                    if temp in prev.defs():
+                        if isinstance(prev, Mov):
+                            break  # chains of movs are left alone
+                        safe = True
+                        for k in range(j + 1, i):
+                            mid = instrs[k]
+                            if dest in mid.defs() or dest in mid.uses():
+                                safe = False
+                                break
+                            if temp in mid.uses() or temp in mid.defs():
+                                safe = False
+                                break
+                        if safe:
+                            prev.replace_defs({temp: dest})
+                            del instrs[i]
+                            def_counts[dest] = def_counts.get(dest, 0)  # unchanged
+                            fused += 1
+                            i -= 1
+                        break
+                    if dest in prev.defs():
+                        break
+            i += 1
+    return fused
+
+
+def run_cleanups(module: Module) -> None:
+    """Run the standard post-lowering cleanup pipeline."""
+    for func in module.functions.values():
+        fuse_single_use_temps(func)

@@ -1,0 +1,35 @@
+"""Human-readable IR dumps, useful for debugging and golden tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function, Module
+
+
+def format_function(func: Function) -> str:
+    lines: List[str] = []
+    params = ", ".join(f"{reg}: {t}" for reg, t in func.params)
+    lines.append(f"func {func.name}({params}) -> {func.return_type} {{")
+    loop_headers = {meta.header: label for label, meta in func.loops.items()}
+    for block in func.ordered_blocks():
+        suffix = ""
+        if block.name in loop_headers:
+            suffix = f"    ; loop {loop_headers[block.name]}"
+        lines.append(f"{block.name}:{suffix}")
+        for instr in block.instrs:
+            lines.append(f"    {instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = []
+    for sdef in module.structs.values():
+        fields = "; ".join(f"{t} {n}" for n, t in sdef.fields.items())
+        parts.append(f"struct {sdef.name} {{ {fields} }}")
+    for gvar in module.globals.values():
+        parts.append(f"global {gvar.type} @{gvar.name} = {gvar.init!r}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

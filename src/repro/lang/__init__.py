@@ -1,0 +1,17 @@
+"""MiniC front end: lexer, parser, AST and type checker."""
+
+from repro.lang.checker import CheckedProgram, check
+from repro.lang.errors import LexError, MiniCError, ParseError, TypeError_
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = [
+    "CheckedProgram",
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "TypeError_",
+    "check",
+    "parse",
+    "tokenize",
+]

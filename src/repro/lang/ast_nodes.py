@@ -1,0 +1,214 @@
+"""AST node definitions for MiniC.
+
+Every node carries a source line for diagnostics.  Expression nodes gain a
+``type`` attribute during type checking (set by
+:mod:`repro.lang.checker`), which the lowering phase relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    type: Optional[Type] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewStruct(Expr):
+    struct_name: str = ""
+
+
+@dataclass
+class NewArray(Expr):
+    elem_type: Optional[Type] = None
+    length: Optional[Expr] = None
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Optional[Expr] = None
+    field_name: str = ""
+
+
+@dataclass
+class IndexAccess(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: Optional[Type] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name, FieldAccess or IndexAccess.
+
+    ``compound_op`` marks ``target op= value`` forms; the lvalue is then
+    evaluated once (C semantics), and lowering emits the canonical
+    read-modify-write shape the idiom matchers recognize.
+    """
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    compound_op: Optional[str] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    label: str = ""
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+    label: str = ""
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    param_type: Optional[Type] = None
+    name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    return_type: Optional[Type] = None
+    params: List[Param] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    field_names: List[str] = field(default_factory=list)
+    field_types: List[Type] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    var_type: Optional[Type] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Program(Node):
+    structs: List[StructDecl] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,64 @@
+"""Builtin functions shared by the checker, lowering and interpreter.
+
+Builtins fall into three groups:
+
+* ``print`` — the only I/O primitive.  Loops containing it are excluded from
+  DCA candidate selection (paper §IV-E).
+* pure math — side-effect free, safe inside payloads.
+* ``len`` — array length query, pure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.lang.types import FLOAT, INT, Type
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """Description of one builtin function."""
+
+    name: str
+    #: None means polymorphic/variadic, handled specially by the checker.
+    param_types: Optional[Sequence[Type]]
+    return_type: Optional[Type]
+    pure: bool
+    #: Host implementation taking already-evaluated operand values.
+    impl: Optional[Callable]
+
+
+def _trunc_div_safe(x: float) -> int:
+    return int(x)
+
+
+BUILTINS: Dict[str, Builtin] = {
+    # I/O.
+    "print": Builtin("print", None, None, pure=False, impl=None),
+    # Array length.
+    "len": Builtin("len", None, INT, pure=True, impl=None),
+    # Math (pure).
+    "sqrt": Builtin("sqrt", (FLOAT,), FLOAT, True, lambda x: math.sqrt(x)),
+    "sin": Builtin("sin", (FLOAT,), FLOAT, True, lambda x: math.sin(x)),
+    "cos": Builtin("cos", (FLOAT,), FLOAT, True, lambda x: math.cos(x)),
+    "exp": Builtin("exp", (FLOAT,), FLOAT, True, lambda x: math.exp(x)),
+    "log": Builtin("log", (FLOAT,), FLOAT, True, lambda x: math.log(x)),
+    "pow": Builtin("pow", (FLOAT, FLOAT), FLOAT, True, lambda x, y: math.pow(x, y)),
+    "floor": Builtin("floor", (FLOAT,), FLOAT, True, lambda x: math.floor(x) * 1.0),
+    "to_int": Builtin("to_int", None, INT, True, _trunc_div_safe),
+    "to_float": Builtin("to_float", None, FLOAT, True, lambda x: float(x)),
+    # Polymorphic numeric helpers (checker resolves result types).
+    "abs": Builtin("abs", None, None, True, lambda x: abs(x)),
+    "min": Builtin("min", None, None, True, lambda a, b: min(a, b)),
+    "max": Builtin("max", None, None, True, lambda a, b: max(a, b)),
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def builtin_is_pure(name: str) -> bool:
+    return BUILTINS[name].pure

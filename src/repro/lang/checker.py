@@ -1,0 +1,433 @@
+"""Semantic analysis (type checking) for MiniC.
+
+The checker validates declarations, resolves names, and annotates every
+expression node with its :class:`~repro.lang.types.Type`.  Lowering relies
+on these annotations and must only be run on a checked program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import BUILTINS, is_builtin
+from repro.lang.errors import TypeError_
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    VOID,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    StringType,
+    StructDef,
+    Type,
+    VoidType,
+    assignable,
+    is_condition_type,
+    unify_numeric,
+)
+
+
+@dataclass
+class FuncSig:
+    """Resolved function signature."""
+
+    name: str
+    param_types: List[Type]
+    return_type: Type
+
+
+@dataclass
+class CheckedProgram:
+    """A type-checked AST plus resolved symbol tables."""
+
+    program: ast.Program
+    structs: Dict[str, StructDef] = field(default_factory=dict)
+    functions: Dict[str, FuncSig] = field(default_factory=dict)
+    globals: Dict[str, Type] = field(default_factory=dict)
+
+
+class _Scope:
+    """A lexical scope of local variable types."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, Type] = {}
+
+    def declare(self, name: str, t: Type, line: int) -> None:
+        if name in self.vars:
+            raise TypeError_(f"redeclaration of '{name}'", line)
+        self.vars[name] = t
+
+    def lookup(self, name: str) -> Optional[Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class Checker:
+    """Type-checks a parsed program."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.structs: Dict[str, StructDef] = {}
+        self.functions: Dict[str, FuncSig] = {}
+        self.globals: Dict[str, Type] = {}
+        self._current_return: Type = VOID
+        self._loop_depth = 0
+
+    def check(self) -> CheckedProgram:
+        self._collect_structs()
+        self._collect_globals()
+        self._collect_functions()
+        for func in self.program.functions:
+            self._check_func(func)
+        return CheckedProgram(
+            program=self.program,
+            structs=self.structs,
+            functions=self.functions,
+            globals=self.globals,
+        )
+
+    # -- declaration collection ---------------------------------------------
+
+    def _collect_structs(self) -> None:
+        for decl in self.program.structs:
+            if decl.name in self.structs:
+                raise TypeError_(f"duplicate struct '{decl.name}'", decl.line)
+            self.structs[decl.name] = StructDef(decl.name)
+        for decl in self.program.structs:
+            sdef = self.structs[decl.name]
+            for fname, ftype in zip(decl.field_names, decl.field_types):
+                self._validate_type(ftype, decl.line)
+                if sdef.has_field(fname):
+                    raise TypeError_(
+                        f"duplicate field '{fname}' in struct '{decl.name}'", decl.line
+                    )
+                sdef.fields[fname] = ftype
+
+    def _collect_globals(self) -> None:
+        for decl in self.program.globals:
+            self._validate_type(decl.var_type, decl.line)
+            if isinstance(decl.var_type, VoidType):
+                raise TypeError_("global cannot have void type", decl.line)
+            if decl.name in self.globals:
+                raise TypeError_(f"duplicate global '{decl.name}'", decl.line)
+            self.globals[decl.name] = decl.var_type
+            if decl.init is not None:
+                t = self._check_expr(decl.init, _Scope())
+                self._require_assignable(decl.var_type, t, decl.init, decl.line)
+
+    def _collect_functions(self) -> None:
+        for func in self.program.functions:
+            if func.name in self.functions or is_builtin(func.name):
+                raise TypeError_(f"duplicate function '{func.name}'", func.line)
+            self._validate_type(func.return_type, func.line)
+            ptypes: List[Type] = []
+            for param in func.params:
+                self._validate_type(param.param_type, param.line)
+                if isinstance(param.param_type, VoidType):
+                    raise TypeError_("parameter cannot be void", param.line)
+                ptypes.append(param.param_type)
+            self.functions[func.name] = FuncSig(func.name, ptypes, func.return_type)
+
+    def _validate_type(self, t: Optional[Type], line: int) -> None:
+        if t is None:
+            raise TypeError_("missing type", line)
+        if isinstance(t, PointerType):
+            if t.struct_name not in self.structs:
+                raise TypeError_(f"unknown struct '{t.struct_name}'", line)
+        elif isinstance(t, ArrayType):
+            self._validate_type(t.elem, line)
+
+    # -- functions -----------------------------------------------------------
+
+    def _check_func(self, func: ast.FuncDecl) -> None:
+        scope = _Scope()
+        seen = set()
+        for param in func.params:
+            if param.name in seen:
+                raise TypeError_(f"duplicate parameter '{param.name}'", param.line)
+            seen.add(param.name)
+            scope.declare(param.name, param.param_type, param.line)
+        self._current_return = func.return_type
+        self._check_block(func.body, scope)
+
+    def _check_block(self, stmts: List[ast.Stmt], scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in stmts:
+            self._check_stmt(stmt, inner)
+
+    # -- statements -----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._validate_type(stmt.var_type, stmt.line)
+            if isinstance(stmt.var_type, VoidType):
+                raise TypeError_("variable cannot be void", stmt.line)
+            if stmt.init is not None:
+                t = self._check_expr(stmt.init, scope)
+                self._require_assignable(stmt.var_type, t, stmt.init, stmt.line)
+            scope.declare(stmt.name, stmt.var_type, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            ttype = self._check_lvalue(stmt.target, scope)
+            vtype = self._check_expr(stmt.value, scope)
+            if stmt.compound_op is not None:
+                if not (ttype.is_numeric() and vtype.is_numeric()):
+                    raise TypeError_(
+                        f"'{stmt.compound_op}=' needs numeric operands, got "
+                        f"{ttype} and {vtype}",
+                        stmt.line,
+                    )
+                result = unify_numeric(ttype, vtype)
+                self._require_assignable(ttype, result, stmt.value, stmt.line)
+            else:
+                self._require_assignable(ttype, vtype, stmt.value, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            cond = self._check_expr(stmt.cond, scope)
+            self._require_condition(cond, stmt.line)
+            self._check_block(stmt.then_body, scope)
+            self._check_block(stmt.else_body, scope)
+        elif isinstance(stmt, ast.While):
+            cond = self._check_expr(stmt.cond, scope)
+            self._require_condition(cond, stmt.line)
+            self._loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                cond = self._check_expr(stmt.cond, inner)
+                self._require_condition(cond, stmt.line)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_block(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if not isinstance(self._current_return, VoidType):
+                    raise TypeError_("missing return value", stmt.line)
+            else:
+                if isinstance(self._current_return, VoidType):
+                    raise TypeError_("void function returns a value", stmt.line)
+                t = self._check_expr(stmt.value, scope)
+                self._require_assignable(self._current_return, t, stmt.value, stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise TypeError_("break/continue outside a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_lvalue(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.IndexAccess)):
+            raise TypeError_("expression is not assignable", expr.line)
+        return self._check_expr(expr, scope)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        t = self._infer(expr, scope)
+        expr.type = t
+        return t
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.StringLit):
+            return STRING
+        if isinstance(expr, ast.NullLit):
+            # The null literal is polymorphic; the parent context refines it
+            # through `assignable`/comparison handling below.
+            return PointerType("$null")
+        if isinstance(expr, ast.Name):
+            local = scope.lookup(expr.ident)
+            if local is not None:
+                return local
+            if expr.ident in self.globals:
+                return self.globals[expr.ident]
+            raise TypeError_(f"undefined variable '{expr.ident}'", expr.line)
+        if isinstance(expr, ast.FieldAccess):
+            base = self._check_expr(expr.base, scope)
+            if not isinstance(base, PointerType):
+                raise TypeError_(
+                    f"field access on non-pointer type {base}", expr.line
+                )
+            sdef = self.structs.get(base.struct_name)
+            if sdef is None or not sdef.has_field(expr.field_name):
+                raise TypeError_(
+                    f"struct '{base.struct_name}' has no field '{expr.field_name}'",
+                    expr.line,
+                )
+            return sdef.field_type(expr.field_name)
+        if isinstance(expr, ast.IndexAccess):
+            base = self._check_expr(expr.base, scope)
+            if not isinstance(base, ArrayType):
+                raise TypeError_(f"indexing non-array type {base}", expr.line)
+            idx = self._check_expr(expr.index, scope)
+            if not isinstance(idx, IntType):
+                raise TypeError_(f"array index must be int, got {idx}", expr.line)
+            return base.elem
+        if isinstance(expr, ast.NewStruct):
+            if expr.struct_name not in self.structs:
+                raise TypeError_(f"unknown struct '{expr.struct_name}'", expr.line)
+            return PointerType(expr.struct_name)
+        if isinstance(expr, ast.NewArray):
+            self._validate_type(expr.elem_type, expr.line)
+            n = self._check_expr(expr.length, scope)
+            if not isinstance(n, IntType):
+                raise TypeError_("array length must be int", expr.line)
+            return ArrayType(expr.elem_type)
+        if isinstance(expr, ast.UnOp):
+            operand = self._check_expr(expr.operand, scope)
+            if expr.op == "-":
+                if not operand.is_numeric():
+                    raise TypeError_(f"unary '-' on {operand}", expr.line)
+                return operand
+            if expr.op == "!":
+                if not is_condition_type(operand):
+                    raise TypeError_(f"'!' on {operand}", expr.line)
+                return BOOL
+            raise TypeError_(f"unknown unary op {expr.op}", expr.line)
+        if isinstance(expr, ast.BinOp):
+            return self._infer_binop(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, scope)
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _infer_binop(self, expr: ast.BinOp, scope: _Scope) -> Type:
+        lhs = self._check_expr(expr.lhs, scope)
+        rhs = self._check_expr(expr.rhs, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            for t, side in ((lhs, expr.lhs), (rhs, expr.rhs)):
+                if not is_condition_type(t):
+                    raise TypeError_(f"'{op}' on {t}", side.line)
+            return BOOL
+        if op in ("==", "!="):
+            if self._comparable(lhs, rhs):
+                return BOOL
+            raise TypeError_(f"cannot compare {lhs} with {rhs}", expr.line)
+        if op in ("<", "<=", ">", ">="):
+            if lhs.is_numeric() and rhs.is_numeric():
+                return BOOL
+            raise TypeError_(f"ordering on {lhs} and {rhs}", expr.line)
+        if op in ("+", "-", "*", "/"):
+            if lhs.is_numeric() and rhs.is_numeric():
+                return unify_numeric(lhs, rhs)
+            raise TypeError_(f"arithmetic on {lhs} and {rhs}", expr.line)
+        if op == "%":
+            if isinstance(lhs, IntType) and isinstance(rhs, IntType):
+                return INT
+            raise TypeError_("'%' requires int operands", expr.line)
+        raise TypeError_(f"unknown operator {op}", expr.line)
+
+    def _comparable(self, lhs: Type, rhs: Type) -> bool:
+        if lhs.is_numeric() and rhs.is_numeric():
+            return True
+        if isinstance(lhs, BoolType) and isinstance(rhs, BoolType):
+            return True
+        if lhs.is_reference() or rhs.is_reference():
+            return self._null_compatible(lhs, rhs)
+        return False
+
+    @staticmethod
+    def _null_compatible(lhs: Type, rhs: Type) -> bool:
+        def is_null(t: Type) -> bool:
+            return isinstance(t, PointerType) and t.struct_name == "$null"
+
+        if is_null(lhs) or is_null(rhs):
+            return lhs.is_reference() and rhs.is_reference()
+        return lhs == rhs
+
+    def _infer_call(self, expr: ast.Call, scope: _Scope) -> Type:
+        arg_types = [self._check_expr(a, scope) for a in expr.args]
+        if is_builtin(expr.func):
+            return self._infer_builtin(expr, arg_types)
+        sig = self.functions.get(expr.func)
+        if sig is None:
+            raise TypeError_(f"undefined function '{expr.func}'", expr.line)
+        if len(arg_types) != len(sig.param_types):
+            raise TypeError_(
+                f"'{expr.func}' expects {len(sig.param_types)} args, got "
+                f"{len(arg_types)}",
+                expr.line,
+            )
+        for arg, ptype, atype in zip(expr.args, sig.param_types, arg_types):
+            self._require_assignable(ptype, atype, arg, arg.line)
+        return sig.return_type
+
+    def _infer_builtin(self, expr: ast.Call, arg_types: List[Type]) -> Type:
+        name = expr.func
+        builtin = BUILTINS[name]
+        if name == "print":
+            return VOID
+        if name == "len":
+            if len(arg_types) != 1 or not isinstance(arg_types[0], ArrayType):
+                raise TypeError_("len() takes one array argument", expr.line)
+            return INT
+        if name in ("to_int", "to_float"):
+            if len(arg_types) != 1 or not arg_types[0].is_numeric():
+                raise TypeError_(f"{name}() takes one numeric argument", expr.line)
+            return INT if name == "to_int" else FLOAT
+        if name == "abs":
+            if len(arg_types) != 1 or not arg_types[0].is_numeric():
+                raise TypeError_("abs() takes one numeric argument", expr.line)
+            return arg_types[0]
+        if name in ("min", "max"):
+            if len(arg_types) != 2 or not all(t.is_numeric() for t in arg_types):
+                raise TypeError_(f"{name}() takes two numeric arguments", expr.line)
+            return unify_numeric(arg_types[0], arg_types[1])
+        # Fixed-signature math builtins; ints are implicitly widened.
+        params = builtin.param_types or ()
+        if len(arg_types) != len(params):
+            raise TypeError_(
+                f"{name}() expects {len(params)} args, got {len(arg_types)}",
+                expr.line,
+            )
+        for arg, ptype, atype in zip(expr.args, params, arg_types):
+            self._require_assignable(ptype, atype, arg, arg.line)
+        assert builtin.return_type is not None
+        return builtin.return_type
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _require_assignable(
+        self, target: Type, source: Type, expr: ast.Expr, line: int
+    ) -> None:
+        if isinstance(source, PointerType) and source.struct_name == "$null":
+            if target.is_reference():
+                # Refine the null literal's type to the context type so that
+                # lowering knows what it produces.
+                expr.type = target
+                return
+            raise TypeError_(f"cannot assign null to {target}", line)
+        if not assignable(target, source):
+            raise TypeError_(f"cannot assign {source} to {target}", line)
+
+    @staticmethod
+    def _require_condition(t: Type, line: int) -> None:
+        if not is_condition_type(t):
+            raise TypeError_(f"type {t} is not usable as a condition", line)
+
+
+def check(program: ast.Program) -> CheckedProgram:
+    """Type-check ``program`` and return the annotated result."""
+    return Checker(program).check()

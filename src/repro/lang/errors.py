@@ -1,0 +1,37 @@
+"""Diagnostics for the MiniC front end."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for all front-end diagnostics.
+
+    Carries an optional source location so error messages can point at the
+    offending token, mirroring a conventional compiler diagnostic.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line:
+            return f"{self.line}:{self.col}: {self.message}"
+        return self.message
+
+
+class LexError(MiniCError):
+    """Raised on malformed input at the character level."""
+
+
+class ParseError(MiniCError):
+    """Raised on a syntax error."""
+
+
+class TypeError_(MiniCError):
+    """Raised on a semantic/type error.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """

@@ -1,0 +1,189 @@
+"""Hand-written lexer for MiniC.
+
+The lexer performs a single pass over the source text, producing a list of
+:class:`~repro.lang.tokens.Token`.  It supports ``//`` line comments and
+``/* ... */`` block comments, decimal integer and floating-point literals
+(with optional exponent), string literals (for ``print``), and the full
+operator set of the language.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, TokKind, Token
+
+_TWO_CHAR_OPS = {
+    "->": TokKind.ARROW,
+    "==": TokKind.EQ,
+    "!=": TokKind.NE,
+    "<=": TokKind.LE,
+    ">=": TokKind.GE,
+    "&&": TokKind.AND,
+    "||": TokKind.OR,
+    "+=": TokKind.PLUS_ASSIGN,
+    "-=": TokKind.MINUS_ASSIGN,
+    "*=": TokKind.STAR_ASSIGN,
+    "/=": TokKind.SLASH_ASSIGN,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "{": TokKind.LBRACE,
+    "}": TokKind.RBRACE,
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    ",": TokKind.COMMA,
+    ";": TokKind.SEMI,
+    ".": TokKind.DOT,
+    "*": TokKind.STAR,
+    "+": TokKind.PLUS,
+    "-": TokKind.MINUS,
+    "/": TokKind.SLASH,
+    "%": TokKind.PERCENT,
+    "=": TokKind.ASSIGN,
+    "<": TokKind.LT,
+    ">": TokKind.GT,
+    "!": TokKind.NOT,
+}
+
+
+class Lexer:
+    """Tokenizes MiniC source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, returning tokens terminated by EOF."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokKind.EOF, "", self.line, self.col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR_OPS:
+            self._advance(2)
+            return Token(_TWO_CHAR_OPS[two], two, line, col)
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return Token(_ONE_CHAR_OPS[ch], ch, line, col)
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        kind = TokKind.FLOAT if is_float else TokKind.INT
+        return Token(kind, text, line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokKind.IDENT)
+        return Token(kind, text, line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", line, col)
+            if ch == '"':
+                self._advance()
+                return Token(TokKind.STRING, "".join(chars), line, col)
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if esc not in mapping:
+                    raise LexError(f"bad escape \\{esc}", self.line, self.col)
+                chars.append(mapping[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,443 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar summary (braces are required around all statement bodies)::
+
+    program    := (struct | func | global)*
+    struct     := 'struct' IDENT '{' (type IDENT ';')* '}'
+    func       := 'func' type IDENT '(' [type IDENT {',' type IDENT}] ')' block
+    global     := type IDENT ['=' expr] ';'
+    type       := ('int'|'float'|'bool'|'void'|IDENT '*') {'[' ']'}
+    stmt       := vardecl ';' | assign ';' | exprstmt ';' | if | while | for
+                | 'return' [expr] ';' | 'break' ';' | 'continue' ';'
+    assign     := lvalue ('='|'+='|'-='|'*='|'/=') expr
+
+The ``IDENT '*' IDENT`` sequence is resolved as a declaration (``Node* p``)
+rather than a multiplication statement, matching C's usual bias.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind, Token
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    PointerType,
+    Type,
+)
+
+_BASE_TYPE_KINDS = (
+    TokKind.KW_INT,
+    TokKind.KW_FLOAT,
+    TokKind.KW_BOOL,
+    TokKind.KW_VOID,
+)
+
+_COMPOUND_ASSIGN = {
+    TokKind.PLUS_ASSIGN: "+",
+    TokKind.MINUS_ASSIGN: "-",
+    TokKind.STAR_ASSIGN: "*",
+    TokKind.SLASH_ASSIGN: "/",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at(self, kind: TokKind, offset: int = 0) -> bool:
+        return self._peek(offset).kind == kind
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokKind, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            expected = what or kind.name
+            raise ParseError(
+                f"expected {expected}, found {tok.text!r}", tok.line, tok.col
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- entry point -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._at(TokKind.EOF):
+            if self._at(TokKind.KW_STRUCT):
+                program.structs.append(self._parse_struct())
+            elif self._at(TokKind.KW_FUNC):
+                program.functions.append(self._parse_func())
+            else:
+                program.globals.append(self._parse_global())
+        return program
+
+    # -- declarations ------------------------------------------------------
+
+    def _parse_struct(self) -> ast.StructDecl:
+        start = self._expect(TokKind.KW_STRUCT)
+        name = self._expect(TokKind.IDENT, "struct name").text
+        decl = ast.StructDecl(line=start.line, name=name)
+        self._expect(TokKind.LBRACE)
+        while not self._accept(TokKind.RBRACE):
+            ftype = self._parse_type()
+            fname = self._expect(TokKind.IDENT, "field name").text
+            self._expect(TokKind.SEMI)
+            decl.field_names.append(fname)
+            decl.field_types.append(ftype)
+        return decl
+
+    def _parse_func(self) -> ast.FuncDecl:
+        start = self._expect(TokKind.KW_FUNC)
+        ret = self._parse_type()
+        name = self._expect(TokKind.IDENT, "function name").text
+        func = ast.FuncDecl(line=start.line, name=name, return_type=ret)
+        self._expect(TokKind.LPAREN)
+        if not self._at(TokKind.RPAREN):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect(TokKind.IDENT, "parameter name").text
+                func.params.append(
+                    ast.Param(line=self._peek().line, param_type=ptype, name=pname)
+                )
+                if not self._accept(TokKind.COMMA):
+                    break
+        self._expect(TokKind.RPAREN)
+        func.body = self._parse_block()
+        return func
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        start = self._peek()
+        gtype = self._parse_type()
+        name = self._expect(TokKind.IDENT, "global name").text
+        init = None
+        if self._accept(TokKind.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokKind.SEMI)
+        return ast.GlobalDecl(line=start.line, var_type=gtype, name=name, init=init)
+
+    # -- types -------------------------------------------------------------
+
+    def _looks_like_type(self) -> bool:
+        """Whether the upcoming tokens start a declaration."""
+        kind = self._peek().kind
+        if kind in _BASE_TYPE_KINDS:
+            return True
+        if kind is TokKind.IDENT and self._at(TokKind.STAR, 1):
+            # 'Node* x' declaration vs 'a * b' expression: declarations are
+            # followed by an identifier or an array suffix.
+            nxt = self._peek(2).kind
+            return nxt in (TokKind.IDENT, TokKind.LBRACKET)
+        return False
+
+    def _parse_type(self) -> Type:
+        tok = self._peek()
+        base: Type
+        if tok.kind is TokKind.KW_INT:
+            self._advance()
+            base = INT
+        elif tok.kind is TokKind.KW_FLOAT:
+            self._advance()
+            base = FLOAT
+        elif tok.kind is TokKind.KW_BOOL:
+            self._advance()
+            base = BOOL
+        elif tok.kind is TokKind.KW_VOID:
+            self._advance()
+            base = VOID
+        elif tok.kind is TokKind.IDENT:
+            self._advance()
+            self._expect(TokKind.STAR, "'*' after struct type name")
+            base = PointerType(tok.text)
+        else:
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.line, tok.col)
+        while self._at(TokKind.LBRACKET) and self._at(TokKind.RBRACKET, 1):
+            self._advance()
+            self._advance()
+            base = ArrayType(base)
+        return base
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect(TokKind.LBRACE)
+        stmts: List[ast.Stmt] = []
+        while not self._accept(TokKind.RBRACE):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind is TokKind.KW_IF:
+            return self._parse_if()
+        if tok.kind is TokKind.KW_WHILE:
+            return self._parse_while()
+        if tok.kind is TokKind.KW_FOR:
+            return self._parse_for()
+        if tok.kind is TokKind.KW_RETURN:
+            self._advance()
+            value = None if self._at(TokKind.SEMI) else self._parse_expr()
+            self._expect(TokKind.SEMI)
+            return ast.Return(line=tok.line, value=value)
+        if tok.kind is TokKind.KW_BREAK:
+            self._advance()
+            self._expect(TokKind.SEMI)
+            return ast.Break(line=tok.line)
+        if tok.kind is TokKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokKind.SEMI)
+            return ast.Continue(line=tok.line)
+        stmt = self._parse_simple_stmt()
+        self._expect(TokKind.SEMI)
+        return stmt
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """A declaration, assignment or expression statement (no semicolon)."""
+        tok = self._peek()
+        if self._looks_like_type():
+            vtype = self._parse_type()
+            name = self._expect(TokKind.IDENT, "variable name").text
+            init = None
+            if self._accept(TokKind.ASSIGN):
+                init = self._parse_expr()
+            return ast.VarDecl(line=tok.line, var_type=vtype, name=name, init=init)
+        expr = self._parse_expr()
+        if self._at(TokKind.ASSIGN):
+            self._advance()
+            value = self._parse_expr()
+            return ast.Assign(line=tok.line, target=expr, value=value)
+        for kind, op in _COMPOUND_ASSIGN.items():
+            if self._at(kind):
+                self._advance()
+                rhs = self._parse_expr()
+                return ast.Assign(
+                    line=tok.line, target=expr, value=rhs, compound_op=op
+                )
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect(TokKind.KW_IF)
+        self._expect(TokKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokKind.RPAREN)
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._accept(TokKind.KW_ELSE):
+            if self._at(TokKind.KW_IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(line=start.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect(TokKind.KW_WHILE)
+        self._expect(TokKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokKind.RPAREN)
+        body = self._parse_block()
+        return ast.While(line=start.line, cond=cond, body=body)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect(TokKind.KW_FOR)
+        self._expect(TokKind.LPAREN)
+        init = None if self._at(TokKind.SEMI) else self._parse_simple_stmt()
+        self._expect(TokKind.SEMI)
+        cond = None if self._at(TokKind.SEMI) else self._parse_expr()
+        self._expect(TokKind.SEMI)
+        step = None if self._at(TokKind.RPAREN) else self._parse_simple_stmt()
+        self._expect(TokKind.RPAREN)
+        body = self._parse_block()
+        return ast.For(line=start.line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions (precedence climbing) ----------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        lhs = self._parse_and()
+        while self._at(TokKind.OR):
+            tok = self._advance()
+            rhs = self._parse_and()
+            lhs = ast.BinOp(line=tok.line, op="||", lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_and(self) -> ast.Expr:
+        lhs = self._parse_equality()
+        while self._at(TokKind.AND):
+            tok = self._advance()
+            rhs = self._parse_equality()
+            lhs = ast.BinOp(line=tok.line, op="&&", lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_equality(self) -> ast.Expr:
+        lhs = self._parse_relational()
+        while self._peek().kind in (TokKind.EQ, TokKind.NE):
+            tok = self._advance()
+            rhs = self._parse_relational()
+            lhs = ast.BinOp(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_relational(self) -> ast.Expr:
+        lhs = self._parse_additive()
+        while self._peek().kind in (TokKind.LT, TokKind.LE, TokKind.GT, TokKind.GE):
+            tok = self._advance()
+            rhs = self._parse_additive()
+            lhs = ast.BinOp(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_additive(self) -> ast.Expr:
+        lhs = self._parse_multiplicative()
+        while self._peek().kind in (TokKind.PLUS, TokKind.MINUS):
+            tok = self._advance()
+            rhs = self._parse_multiplicative()
+            lhs = ast.BinOp(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        lhs = self._parse_unary()
+        while self._peek().kind in (TokKind.STAR, TokKind.SLASH, TokKind.PERCENT):
+            tok = self._advance()
+            rhs = self._parse_unary()
+            lhs = ast.BinOp(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp(line=tok.line, op="-", operand=operand)
+        if tok.kind is TokKind.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp(line=tok.line, op="!", operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind in (TokKind.ARROW, TokKind.DOT):
+                self._advance()
+                fname = self._expect(TokKind.IDENT, "field name").text
+                expr = ast.FieldAccess(line=tok.line, base=expr, field_name=fname)
+            elif tok.kind is TokKind.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(TokKind.RBRACKET)
+                expr = ast.IndexAccess(line=tok.line, base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokKind.INT:
+            self._advance()
+            return ast.IntLit(line=tok.line, value=int(tok.text))
+        if tok.kind is TokKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(line=tok.line, value=float(tok.text))
+        if tok.kind is TokKind.STRING:
+            self._advance()
+            return ast.StringLit(line=tok.line, value=tok.text)
+        if tok.kind is TokKind.KW_TRUE:
+            self._advance()
+            return ast.BoolLit(line=tok.line, value=True)
+        if tok.kind is TokKind.KW_FALSE:
+            self._advance()
+            return ast.BoolLit(line=tok.line, value=False)
+        if tok.kind is TokKind.KW_NULL:
+            self._advance()
+            return ast.NullLit(line=tok.line)
+        if tok.kind is TokKind.KW_NEW:
+            return self._parse_new()
+        if tok.kind is TokKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokKind.RPAREN)
+            return expr
+        if tok.kind is TokKind.IDENT:
+            self._advance()
+            if self._at(TokKind.LPAREN):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._at(TokKind.RPAREN):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(TokKind.COMMA):
+                            break
+                self._expect(TokKind.RPAREN)
+                return ast.Call(line=tok.line, func=tok.text, args=args)
+            return ast.Name(line=tok.line, ident=tok.text)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+    def _parse_new(self) -> ast.Expr:
+        start = self._expect(TokKind.KW_NEW)
+        # `new T[expr]` allocates an array; `new Name` allocates a struct.
+        tok = self._peek()
+        base: Type
+        if tok.kind in _BASE_TYPE_KINDS:
+            base = self._parse_scalar_base()
+        elif tok.kind is TokKind.IDENT:
+            # Either `new Node` (struct) or `new Node*[n]` (array of ptrs).
+            if self._at(TokKind.STAR, 1):
+                self._advance()
+                self._advance()
+                base = PointerType(tok.text)
+            else:
+                self._advance()
+                return ast.NewStruct(line=start.line, struct_name=tok.text)
+        else:
+            raise ParseError(
+                f"expected type after 'new', found {tok.text!r}", tok.line, tok.col
+            )
+        # Nested array element suffixes: `new int[][n]` gives int[] elements.
+        while self._at(TokKind.LBRACKET) and self._at(TokKind.RBRACKET, 1):
+            self._advance()
+            self._advance()
+            base = ArrayType(base)
+        self._expect(TokKind.LBRACKET, "'[' in array allocation")
+        length = self._parse_expr()
+        self._expect(TokKind.RBRACKET)
+        return ast.NewArray(line=start.line, elem_type=base, length=length)
+
+    def _parse_scalar_base(self) -> Type:
+        tok = self._advance()
+        if tok.kind is TokKind.KW_INT:
+            return INT
+        if tok.kind is TokKind.KW_FLOAT:
+            return FLOAT
+        if tok.kind is TokKind.KW_BOOL:
+            return BOOL
+        raise ParseError(f"bad allocation type {tok.text!r}", tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,102 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokKind(Enum):
+    """Kinds of lexical tokens."""
+
+    # Literals and identifiers.
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    IDENT = auto()
+
+    # Keywords.
+    KW_STRUCT = auto()
+    KW_FUNC = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_WHILE = auto()
+    KW_FOR = auto()
+    KW_RETURN = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+    KW_NEW = auto()
+    KW_NULL = auto()
+    KW_TRUE = auto()
+    KW_FALSE = auto()
+    KW_INT = auto()
+    KW_FLOAT = auto()
+    KW_BOOL = auto()
+    KW_VOID = auto()
+
+    # Punctuation and operators.
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    DOT = auto()
+    ARROW = auto()
+    STAR = auto()
+    PLUS = auto()
+    MINUS = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    STAR_ASSIGN = auto()
+    SLASH_ASSIGN = auto()
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+
+    EOF = auto()
+
+
+KEYWORDS = {
+    "struct": TokKind.KW_STRUCT,
+    "func": TokKind.KW_FUNC,
+    "if": TokKind.KW_IF,
+    "else": TokKind.KW_ELSE,
+    "while": TokKind.KW_WHILE,
+    "for": TokKind.KW_FOR,
+    "return": TokKind.KW_RETURN,
+    "break": TokKind.KW_BREAK,
+    "continue": TokKind.KW_CONTINUE,
+    "new": TokKind.KW_NEW,
+    "null": TokKind.KW_NULL,
+    "true": TokKind.KW_TRUE,
+    "false": TokKind.KW_FALSE,
+    "int": TokKind.KW_INT,
+    "float": TokKind.KW_FLOAT,
+    "bool": TokKind.KW_BOOL,
+    "void": TokKind.KW_VOID,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

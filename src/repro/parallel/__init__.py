@@ -1,0 +1,27 @@
+"""Parallelization stage: clause synthesis, selection, simulated executor."""
+
+from repro.parallel.executor import LoopSpeedup, ParallelSimulator, SpeedupReport
+from repro.parallel.machine import (
+    MachineModel,
+    dynamic_makespan,
+    parallel_invocation_time,
+    static_makespan,
+)
+from repro.parallel.privatization import ParallelClauses, synthesize_clauses
+from repro.parallel.selection import NestingObserver, Selection, select_outermost
+
+__all__ = [
+    "LoopSpeedup",
+    "MachineModel",
+    "NestingObserver",
+    "ParallelClauses",
+    "ParallelSimulator",
+    "Selection",
+    "SpeedupReport",
+    "dynamic_makespan",
+    "parallel_invocation_time",
+    "select_outermost",
+    "select_outermost",
+    "static_makespan",
+    "synthesize_clauses",
+]

@@ -1,0 +1,106 @@
+"""Simulated multicore machine model.
+
+The paper measures wall-clock speedups of OpenMP code on a 72-core Xeon.
+Interpreting MiniC in Python cannot time-travel to that testbed, so the
+executor *simulates* parallel execution: per-iteration instruction counts
+(from :class:`repro.interp.profiler.Profiler`) are scheduled onto ``cores``
+workers under a cost model with explicit fork/join, per-task dispatch and
+reduction-merge overheads.  All costs are in interpreted-instruction units.
+
+The model reproduces the *shape* of the paper's results (who scales, where
+Amdahl bites, why I/O-bound kernels stay at 1×), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost model for the simulated shared-memory machine."""
+
+    cores: int = 72
+    #: One-off cost of forking/joining a parallel region (per invocation).
+    fork_join_cost: int = 400
+    #: Dispatch cost charged per scheduled task (chunk).
+    task_cost: int = 12
+    #: Per-variable cost of merging one worker's private reduction copy.
+    reduction_merge_cost: int = 20
+    #: "static" (contiguous chunks) or "dynamic" (greedy self-scheduling).
+    schedule: str = "dynamic"
+    #: Iterations per task under dynamic scheduling.
+    chunk: int = 1
+
+    def with_cores(self, cores: int) -> "MachineModel":
+        return MachineModel(
+            cores=cores,
+            fork_join_cost=self.fork_join_cost,
+            task_cost=self.task_cost,
+            reduction_merge_cost=self.reduction_merge_cost,
+            schedule=self.schedule,
+            chunk=self.chunk,
+        )
+
+
+def _chunked(costs: Sequence[int], chunk: int) -> List[int]:
+    if chunk <= 1:
+        return list(costs)
+    return [sum(costs[i : i + chunk]) for i in range(0, len(costs), chunk)]
+
+
+def static_makespan(costs: Sequence[int], workers: int, task_cost: int) -> int:
+    """Contiguous block partition (OpenMP ``schedule(static)``)."""
+    n = len(costs)
+    if n == 0:
+        return 0
+    workers = min(workers, n)
+    base, extra = divmod(n, workers)
+    makespan = 0
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        load = sum(costs[start : start + size]) + task_cost
+        start += size
+        makespan = max(makespan, load)
+    return makespan
+
+
+def dynamic_makespan(
+    costs: Sequence[int], workers: int, task_cost: int, chunk: int = 1
+) -> int:
+    """Greedy self-scheduling (OpenMP ``schedule(dynamic, chunk)``).
+
+    Tasks are handed out in order to whichever worker frees up first,
+    charging ``task_cost`` per dispatched task.
+    """
+    tasks = _chunked(costs, chunk)
+    if not tasks:
+        return 0
+    workers = min(workers, len(tasks))
+    heap = [0] * workers
+    heapq.heapify(heap)
+    for cost in tasks:
+        busy_until = heapq.heappop(heap)
+        heapq.heappush(heap, busy_until + cost + task_cost)
+    return max(heap)
+
+
+def parallel_invocation_time(
+    costs: Sequence[int],
+    model: MachineModel,
+    reduction_vars: int = 0,
+) -> int:
+    """Simulated time of one parallel loop invocation."""
+    if model.schedule == "static":
+        span = static_makespan(costs, model.cores, model.task_cost)
+    else:
+        span = dynamic_makespan(costs, model.cores, model.task_cost, model.chunk)
+    # Reduction copies merge in a tree: ceil(log2(P)) rounds.
+    merge = 0
+    if reduction_vars:
+        rounds = max(1, (min(model.cores, max(len(costs), 1)) - 1).bit_length())
+        merge = reduction_vars * model.reduction_merge_cost * rounds
+    return span + model.fork_join_cost + merge

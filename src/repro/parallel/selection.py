@@ -1,0 +1,97 @@
+"""Parallel-loop selection: profitability and outermost-only filtering.
+
+Profitability analysis is out of DCA's scope (paper §V-C2) — the paper
+parallelizes the commutative loops deemed profitable by the expert NPB
+implementation, falling back to the hottest loops.  This module implements
+that selection:
+
+* loops must have been executed and carry a minimum coverage share;
+* of any dynamically nested pair of chosen loops, only the outermost is
+  parallelized (OpenMP non-nested default) — nesting is observed
+  dynamically, so loops in called functions nest correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.interp.events import Observer
+
+
+class NestingObserver(Observer):
+    """Records the dynamic loop-nesting relation (parent -> child labels)."""
+
+    wants_loops = True
+
+    def __init__(self):
+        self.parents: Dict[str, Set[str]] = {}
+
+    def on_loop_enter(self, label: str, invocation: int) -> None:
+        stack = self.interp.loop_stack
+        if len(stack) >= 2:
+            parent = stack[-2].label
+            self.parents.setdefault(label, set()).add(parent)
+
+    def ancestors(self, label: str) -> Set[str]:
+        """Transitive dynamic ancestors of ``label``."""
+        seen: Set[str] = set()
+        work = list(self.parents.get(label, ()))
+        while work:
+            cur = work.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            work.extend(self.parents.get(cur, ()))
+        return seen
+
+
+@dataclass
+class Selection:
+    """The loops chosen for parallelization, with bookkeeping."""
+
+    chosen: List[str] = field(default_factory=list)
+    skipped: Dict[str, str] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        lines = [f"parallelized: {', '.join(self.chosen) or '(none)'}"]
+        for label, why in sorted(self.skipped.items()):
+            lines.append(f"  skipped {label}: {why}")
+        return "\n".join(lines)
+
+
+def select_outermost(
+    candidates: Sequence[str],
+    coverage: Dict[str, float],
+    nesting: NestingObserver,
+    min_coverage: float = 0.001,
+    forced: Optional[Iterable[str]] = None,
+) -> Selection:
+    """Greedy outermost-first selection by coverage."""
+    selection = Selection()
+    forced_set = set(forced or ())
+    ordered = sorted(
+        candidates, key=lambda l: (-(coverage.get(l, 0.0)), l)
+    )
+    chosen: Set[str] = set()
+    for label in ordered:
+        cov = coverage.get(label, 0.0)
+        if label not in forced_set and cov < min_coverage:
+            selection.skipped[label] = (
+                f"coverage {cov:.2%} below threshold" if cov else "never executed"
+            )
+            continue
+        ancestors = nesting.ancestors(label)
+        if ancestors & chosen:
+            inside = sorted(ancestors & chosen)[0]
+            selection.skipped[label] = f"nested inside parallelized {inside}"
+            continue
+        # Never select an ancestor of an already-chosen loop either; the
+        # coverage ordering makes this rare (outer loops have inclusive
+        # coverage ≥ inner), but forced labels can invert it.
+        if any(label in nesting.ancestors(c) for c in chosen):
+            selection.skipped[label] = "contains an already-parallelized loop"
+            continue
+        chosen.add(label)
+        selection.chosen.append(label)
+    return selection

@@ -1,0 +1,176 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.lang.checker import check
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse
+from repro.lang.types import BOOL, FLOAT, INT, PointerType
+
+
+def check_ok(source):
+    return check(parse(source))
+
+
+def check_fails(source, fragment=""):
+    with pytest.raises(TypeError_) as err:
+        check(parse(source))
+    if fragment:
+        assert fragment in str(err.value)
+    return err.value
+
+
+def test_simple_program_checks():
+    checked = check_ok(
+        "struct N { int v; } func void main() { N* p = new N; p->v = 3; }"
+    )
+    assert "N" in checked.structs
+    assert checked.functions["main"].return_type.__class__.__name__ == "VoidType"
+
+
+def test_undefined_variable():
+    check_fails("func void main() { x = 1; }", "undefined variable")
+
+
+def test_undefined_function():
+    check_fails("func void main() { g(); }", "undefined function")
+
+
+def test_duplicate_function():
+    check_fails("func void f() { } func void f() { }", "duplicate function")
+
+
+def test_duplicate_struct():
+    check_fails("struct S { int a; } struct S { int b; }", "duplicate struct")
+
+
+def test_duplicate_local():
+    check_fails("func void main() { int x; int x; }", "redeclaration")
+
+
+def test_shadowing_in_nested_scope_is_allowed():
+    check_ok("func void main() { int x = 1; if (x > 0) { int x = 2; } }")
+
+
+def test_unknown_struct_in_pointer_type():
+    check_fails("func void main() { Foo* p = null; }", "unknown struct")
+
+
+def test_unknown_field():
+    check_fails(
+        "struct N { int v; } func void main() { N* p = new N; p->w = 1; }",
+        "no field",
+    )
+
+
+def test_field_access_on_non_pointer():
+    check_fails("func void main() { int x = 1; int y = x->v; }")
+
+
+def test_indexing_non_array():
+    check_fails("func void main() { int x = 1; int y = x[0]; }")
+
+
+def test_array_index_must_be_int():
+    check_fails("func void main() { int[] a = new int[4]; a[1.5] = 0; }")
+
+
+def test_int_widens_to_float():
+    check_ok("func void main() { float x = 3; x = x + 1; }")
+
+
+def test_float_does_not_narrow_to_int():
+    check_fails("func void main() { int x = 1.5; }", "cannot assign")
+
+
+def test_null_assignable_to_references_only():
+    check_ok("struct N { int v; } func void main() { N* p = null; }")
+    check_fails("func void main() { int x = null; }")
+
+
+def test_null_comparison_with_pointer():
+    check_ok(
+        "struct N { int v; } func void main() { N* p = null;"
+        " if (p != null) { } }"
+    )
+
+
+def test_condition_accepts_int_and_pointer():
+    check_ok(
+        "struct N { int v; } func void main() { int x = 1; N* p = null;"
+        " while (x) { x = 0; } if (p) { } }"
+    )
+
+
+def test_condition_rejects_float():
+    check_fails("func void main() { float f = 1.0; if (f) { } }")
+
+
+def test_modulo_requires_ints():
+    check_fails("func void main() { float x = 1.0 % 2.0; }")
+
+
+def test_return_type_checked():
+    check_fails("func int f() { return 1.5; }")
+    check_fails("func void f() { return 3; }")
+    check_fails("func int f() { return; }")
+
+
+def test_call_arity_checked():
+    check_fails(
+        "func int f(int a) { return a; } func void main() { f(1, 2); }",
+        "expects 1 args",
+    )
+
+
+def test_call_argument_types_checked():
+    check_fails(
+        "struct N { int v; } func int f(int a) { return a; }"
+        " func void main() { N* p = null; f(p); }"
+    )
+
+
+def test_break_outside_loop():
+    check_fails("func void main() { break; }", "outside a loop")
+
+
+def test_compound_assign_requires_numeric():
+    check_fails(
+        "struct N { int v; } func void main() { N* p = null; p += 1; }"
+    )
+
+
+def test_compound_assign_float_into_int_rejected():
+    check_fails("func void main() { int x = 1; x += 0.5; }")
+
+
+def test_builtin_len_requires_array():
+    check_fails("func void main() { int n = len(3); }")
+
+
+def test_builtin_min_max_polymorphic():
+    checked = check_ok(
+        "func void main() { int a = min(1, 2); float b = max(1.0, 2); }"
+    )
+    assert checked is not None
+
+
+def test_expression_types_annotated():
+    checked = check_ok("func void main() { int x = 1 + 2; bool b = x < 3; }")
+    body = checked.program.functions[0].body
+    assert body[0].init.type == INT
+    assert body[1].init.type == BOOL
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(TypeError_):
+        from repro.ir.lowering import lower
+        lower(check(parse("int g = 1 + 2;")))
+
+
+def test_void_variable_rejected():
+    check_fails("func void main() { void x; }")
+
+
+def test_user_function_cannot_shadow_builtin():
+    check_fails("func int len(int x) { return x; }", "duplicate function")

@@ -1,0 +1,56 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+func void main() {
+  int s = 0;
+  for (int i = 0; i < 6; i = i + 1) { s += i; }
+  print(s);
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_cli_run(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    assert "15" in capsys.readouterr().out
+
+
+def test_cli_ir(program_file, capsys):
+    assert main(["ir", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "func main" in out
+    assert "; loop main.L0" in out
+
+
+def test_cli_analyze(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "main.L0: commutative" in out
+    assert "1/1 loops commutative" in out
+
+
+def test_cli_analyze_with_cores(program_file, capsys):
+    assert main(["analyze", program_file, "--cores", "4"]) == 0
+    assert "Simulated on 4 cores" in capsys.readouterr().out
+
+
+def test_cli_detect(program_file, capsys):
+    assert main(["detect", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "dep-prof" in out
+    assert "commutative" in out
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,189 @@
+"""Instrumentation passes and DCA runtime unit tests."""
+
+import pytest
+
+from repro import compile_program, run_program
+from repro.analysis.purity import EffectAnalysis
+from repro.core.instrument import (
+    RT_RECORD,
+    RT_VERIFY,
+    VerifySpec,
+    build_observe_module,
+    build_test_module,
+    compute_verify_spec,
+)
+from repro.core.runtime import CommutativityMismatch, DcaRuntime
+from repro.core.schedules import IdentitySchedule, ReverseSchedule
+from repro.interp.interpreter import Interpreter
+from repro.ir.instructions import Intrinsic, Reg
+from repro.ir.verify import verify_module
+
+SOURCE = """
+func void main() {
+  int[] a = new int[6];
+  int s = 0;
+  for (int i = 0; i < 6; i = i + 1) { a[i] = i * 2; }
+  for (int i = 0; i < 6; i = i + 1) { s = s + a[i]; }
+  print(s);
+}
+"""
+
+
+def specs_for(module, labels=("main.L0", "main.L1")):
+    effects = EffectAnalysis(module)
+    return {
+        label: compute_verify_spec(module, module.functions["main"], label, effects)
+        for label in labels
+    }
+
+
+def test_verify_spec_contents():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    spec1 = specs["main.L1"]
+    assert Reg("s") in spec1.scalar_regs
+    # `a` is live after L0 (read by L1) — heap snapshot root.
+    assert Reg("a") in specs["main.L0"].ref_regs
+
+
+def test_verify_spec_includes_written_scalar_globals():
+    module = compile_program(
+        """
+        int total = 0;
+        func void main() {
+          for (int i = 0; i < 4; i = i + 1) { total = total + i; }
+          print(total);
+        }
+        """
+    )
+    effects = EffectAnalysis(module)
+    spec = compute_verify_spec(module, module.functions["main"], "main.L0", effects)
+    assert spec.scalar_globals == ["total"]
+
+
+def test_observe_module_inserts_verify_per_loop():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    observed = build_observe_module(module, specs)
+    verify_module(observed)
+    intrinsics = [
+        i
+        for i in observed.functions["main"].instructions()
+        if isinstance(i, Intrinsic) and i.func == RT_VERIFY
+    ]
+    assert len(intrinsics) == 2
+    # The pristine module is untouched.
+    assert not [
+        i for i in module.functions["main"].instructions() if isinstance(i, Intrinsic)
+    ]
+
+
+def test_observe_run_collects_golden_snapshots():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    observed = build_observe_module(module, specs)
+    runtime = DcaRuntime(specs)
+    Interpreter(observed, runtime=runtime).run()
+    assert runtime.invocation_count("main.L0") == 1
+    assert runtime.invocation_count("main.L1") == 1
+    assert len(runtime.snapshots["main.L0"]) == 1
+
+
+def test_test_module_structure():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    inst = build_test_module(module, "main.L0", specs["main.L0"])
+    verify_module(inst.module)
+    main = inst.module.functions["main"]
+    names = set(main.blocks)
+    assert any(n.endswith("$rec") for n in names)
+    assert any(".d0.permute" in n for n in names)
+    records = [
+        i
+        for i in main.instructions()
+        if isinstance(i, Intrinsic) and i.func == RT_RECORD
+    ]
+    assert len(records) == 1
+    assert inst.outline.payload_func in inst.module.functions
+
+
+def test_identity_replay_matches_golden():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    observed = build_observe_module(module, specs)
+    golden_rt = DcaRuntime(specs)
+    Interpreter(observed, runtime=golden_rt).run()
+
+    inst = build_test_module(module, "main.L0", specs["main.L0"])
+    test_rt = DcaRuntime(
+        specs={"main.L0": specs["main.L0"]},
+        schedule=IdentitySchedule(),
+        golden=golden_rt.snapshots,
+    )
+    interp = Interpreter(inst.module, runtime=test_rt)
+    interp.run()
+    assert not test_rt.violations
+    assert test_rt.max_trip_count("main.L0") == 6
+    assert interp.output_text() == "30\n"
+
+
+def test_reverse_replay_of_map_also_matches():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    observed = build_observe_module(module, specs)
+    golden_rt = DcaRuntime(specs)
+    Interpreter(observed, runtime=golden_rt).run()
+
+    inst = build_test_module(module, "main.L0", specs["main.L0"])
+    test_rt = DcaRuntime(
+        specs={"main.L0": specs["main.L0"]},
+        schedule=ReverseSchedule(),
+        golden=golden_rt.snapshots,
+    )
+    Interpreter(inst.module, runtime=test_rt).run()
+    assert not test_rt.violations
+
+
+def test_mismatch_raises_fail_fast():
+    source = """
+    func void main() {
+      int[] out = new int[5];
+      int run = 0;
+      for (int i = 0; i < 5; i = i + 1) { run = run + 2; out[i] = run * (i + 1); }
+      print(out[0], out[4]);
+    }
+    """
+    module = compile_program(source)
+    specs = specs_for(module, labels=("main.L0",))
+    observed = build_observe_module(module, specs)
+    golden_rt = DcaRuntime(specs)
+    Interpreter(observed, runtime=golden_rt).run()
+
+    inst = build_test_module(module, "main.L0", specs["main.L0"])
+    test_rt = DcaRuntime(
+        specs=specs,
+        schedule=ReverseSchedule(),
+        golden=golden_rt.snapshots,
+        fail_fast=True,
+    )
+    with pytest.raises(CommutativityMismatch):
+        Interpreter(inst.module, runtime=test_rt).run()
+    assert test_rt.violations
+
+
+def test_runtime_rejects_unknown_intrinsic():
+    from repro.interp.values import MiniCRuntimeError
+
+    runtime = DcaRuntime(specs={})
+    with pytest.raises(MiniCRuntimeError):
+        runtime.handle_intrinsic(None, "rt_bogus", ["x"])
+
+
+def test_capture_disabled_still_counts_invocations():
+    module = compile_program(SOURCE)
+    specs = specs_for(module)
+    observed = build_observe_module(module, specs)
+    runtime = DcaRuntime(specs, capture_snapshots=False)
+    Interpreter(observed, runtime=runtime).run()
+    assert runtime.invocation_count("main.L0") == 1
+    assert "main.L0" not in runtime.snapshots

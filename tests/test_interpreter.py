@@ -1,0 +1,253 @@
+"""Interpreter semantics tests."""
+
+import pytest
+
+from repro import compile_program, run_program
+from repro.interp import Interpreter, MiniCRuntimeError
+from repro.interp.interpreter import _c_mod, _trunc_div
+
+
+def run_main(body, decls=""):
+    src = f"{decls}\nfunc void main() {{ {body} }}"
+    _, out = run_program(src)
+    return out
+
+
+def test_print_formatting():
+    out = run_main('print("x", 1, 1.5, true, false);')
+    assert out == "x 1 1.5 true false\n"
+
+
+def test_arithmetic_semantics():
+    out = run_main("print(7 / 2, -7 / 2, 7 % 3, -7 % 3, 7 % -3);")
+    assert out == "3 -3 1 -1 1\n"
+
+
+def test_trunc_div_helper():
+    assert _trunc_div(7, 2) == 3
+    assert _trunc_div(-7, 2) == -3
+    assert _trunc_div(7, -2) == -3
+    assert _trunc_div(-7, -2) == 3
+    assert _trunc_div(6, 3) == 2
+
+
+def test_c_mod_helper():
+    assert _c_mod(7, 3) == 1
+    assert _c_mod(-7, 3) == -1
+    assert _c_mod(7, -3) == 1
+    assert _c_mod(-7, -3) == -1
+
+
+def test_division_by_zero_is_catchable():
+    with pytest.raises(MiniCRuntimeError):
+        run_main("int x = 1 / 0;")
+    with pytest.raises(MiniCRuntimeError):
+        run_main("float x = 1.0 / 0.0;")
+
+
+def test_float_arithmetic():
+    out = run_main("float x = 1.0 / 4.0; print(x, x * 8.0);")
+    assert out == "0.25 2\n"
+
+
+def test_int_widening_in_mixed_expressions():
+    out = run_main("float x = 1 + 0.5; print(x, 3 / 2.0);")
+    assert out == "1.5 1.5\n"
+
+
+def test_short_circuit_evaluation():
+    # The right operand would fault if evaluated.
+    out = run_main(
+        "int[] a = new int[1]; int i = 5;"
+        " if (i < 1 && a[i] == 0) { print(1); } else { print(2); }"
+    )
+    assert out == "2\n"
+    out = run_main(
+        "int[] a = new int[1]; int i = 5;"
+        " if (i > 1 || a[i] == 0) { print(1); }"
+    )
+    assert out == "1\n"
+
+
+def test_struct_fields_default_initialized():
+    out = run_main(
+        "N* p = new N; print(p->i, p->f, p->b, p->q == null);",
+        decls="struct N { int i; float f; bool b; N* q; }",
+    )
+    assert out == "0 0 false true\n"
+
+
+def test_array_default_initialized():
+    out = run_main("int[] a = new int[3]; print(a[0], a[2], len(a));")
+    assert out == "0 0 3\n"
+
+
+def test_null_dereference_faults():
+    with pytest.raises(MiniCRuntimeError, match="null"):
+        run_main("N* p = null; p->v = 1;", decls="struct N { int v; }")
+
+
+def test_out_of_bounds_faults():
+    with pytest.raises(MiniCRuntimeError, match="out of bounds"):
+        run_main("int[] a = new int[2]; a[2] = 1;")
+    with pytest.raises(MiniCRuntimeError, match="out of bounds"):
+        run_main("int[] a = new int[2]; int x = a[-1];")
+
+
+def test_negative_array_length_faults():
+    with pytest.raises(MiniCRuntimeError, match="negative"):
+        run_main("int[] a = new int[0 - 3];")
+
+
+def test_reference_equality_is_identity():
+    out = run_main(
+        "N* a = new N; N* b = new N; N* c = a;"
+        " print(a == b, a == c, a != b);",
+        decls="struct N { int v; }",
+    )
+    assert out == "false true true\n"
+
+
+def test_while_with_break_and_continue():
+    out = run_main(
+        "int s = 0;"
+        " for (int i = 0; i < 10; i = i + 1) {"
+        "   if (i == 3) { continue; }"
+        "   if (i == 6) { break; }"
+        "   s = s + i;"
+        " } print(s);"
+    )
+    assert out == "12\n"  # 0+1+2+4+5
+
+
+def test_nested_loop_break_targets_innermost():
+    out = run_main(
+        "int n = 0;"
+        " for (int i = 0; i < 3; i = i + 1) {"
+        "   for (int j = 0; j < 10; j = j + 1) {"
+        "     if (j == 2) { break; }"
+        "     n = n + 1;"
+        "   }"
+        " } print(n);"
+    )
+    assert out == "6\n"
+
+
+def test_recursion():
+    src = """
+    func int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    func void main() { print(fib(12)); }
+    """
+    _, out = run_program(src)
+    assert out == "144\n"
+
+
+def test_globals_read_write_across_functions():
+    src = """
+    int counter = 10;
+    func void bump() { counter = counter + 5; }
+    func void main() { bump(); bump(); print(counter); }
+    """
+    _, out = run_program(src)
+    assert out == "20\n"
+
+
+def test_entry_return_value():
+    result, _ = run_program("func int main() { return 41 + 1; }")
+    assert result == 42
+
+
+def test_step_limit_enforced():
+    module = compile_program("func void main() { while (true) { } }")
+    interp = Interpreter(module, max_steps=1000)
+    with pytest.raises(MiniCRuntimeError, match="step limit"):
+        interp.run()
+
+
+def test_math_builtins():
+    out = run_main(
+        "print(sqrt(9.0), abs(-4), abs(-1.5), min(2, 7), max(2.0, 7.0),"
+        " to_int(3.9), to_float(2), floor(2.7));"
+    )
+    assert out == "3 4 1.5 2 7 3 2 2\n"
+
+
+def test_pow_exp_log():
+    out = run_main("print(pow(2.0, 10.0), log(exp(1.0)));")
+    assert out == "1024 1\n"
+
+
+def test_intrinsic_without_runtime_faults():
+    from repro.ir.instructions import Intrinsic, Const
+    module = compile_program("func void main() { }")
+    entry = module.functions["main"].blocks["entry0"]
+    entry.instrs.insert(0, Intrinsic(None, "rt_verify", [Const("x")]))
+    with pytest.raises(MiniCRuntimeError, match="without a runtime"):
+        Interpreter(module).run()
+
+
+def test_arrays_of_arrays():
+    out = run_main(
+        "int[][] m = new int[][3];"
+        " for (int i = 0; i < 3; i = i + 1) { m[i] = new int[2]; m[i][1] = i; }"
+        " print(m[2][1], m[0][1]);"
+    )
+    assert out == "2 0\n"
+
+
+def test_loop_context_tracking_events():
+    from repro.interp.events import Observer
+
+    class Recorder(Observer):
+        wants_loops = True
+
+        def __init__(self):
+            self.events = []
+
+        def on_loop_enter(self, label, invocation):
+            self.events.append(("enter", label, invocation))
+
+        def on_loop_iteration(self, label, invocation, iteration):
+            self.events.append(("iter", label, iteration))
+
+        def on_loop_exit(self, label, invocation):
+            self.events.append(("exit", label, invocation))
+
+    module = compile_program(
+        "func void main() { for (int i = 0; i < 3; i = i + 1) { } }"
+    )
+    rec = Recorder()
+    Interpreter(module, observers=[rec]).run()
+    labels = [e for e in rec.events if e[0] == "enter"]
+    iters = [e for e in rec.events if e[0] == "iter"]
+    exits = [e for e in rec.events if e[0] == "exit"]
+    assert labels == [("enter", "main.L0", 0)]
+    assert [e[2] for e in iters] == [1, 2, 3]  # 3 back edges
+    assert exits == [("exit", "main.L0", 0)]
+
+
+def test_loop_invocation_counting():
+    from repro.interp.events import Observer
+
+    class Counter(Observer):
+        wants_loops = True
+
+        def __init__(self):
+            self.invocations = []
+
+        def on_loop_enter(self, label, invocation):
+            if label == "main.L1":
+                self.invocations.append(invocation)
+
+    module = compile_program(
+        "func void main() {"
+        " for (int i = 0; i < 3; i = i + 1) {"
+        "   for (int j = 0; j < 2; j = j + 1) { }"
+        " } }"
+    )
+    counter = Counter()
+    Interpreter(module, observers=[counter]).run()
+    assert counter.invocations == [0, 1, 2]

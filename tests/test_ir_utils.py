@@ -1,0 +1,149 @@
+"""IR utilities: clone, verifier, printer, cleanup pass."""
+
+import pytest
+
+from repro import compile_program, run_program
+from repro.ir.clone import clone_function, clone_module
+from repro.ir.instructions import BinOp, Const, Jump, Mov, Reg, Ret
+from repro.ir.passes import fuse_single_use_temps
+from repro.ir.printer import format_function, format_module
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+SOURCE = """
+struct Node { int v; Node* next; }
+int g = 7;
+func int twice(int x) { return x * 2; }
+func void main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) { s = s + twice(i); }
+  print(s, g);
+}
+"""
+
+
+def test_clone_is_deep_for_instructions():
+    module = compile_program(SOURCE)
+    cloned = clone_module(module)
+    f1 = module.functions["main"]
+    f2 = cloned.functions["main"]
+    assert f1 is not f2
+    for b1, b2 in zip(f1.ordered_blocks(), f2.ordered_blocks()):
+        assert b1.name == b2.name
+        for i1, i2 in zip(b1.instrs, b2.instrs):
+            assert i1 is not i2
+            assert str(i1) == str(i2)
+
+
+def test_clone_runs_identically():
+    module = compile_program(SOURCE)
+    _, a = run_program(module)
+    _, b = run_program(clone_module(module))
+    assert a == b
+
+
+def test_clone_mutation_does_not_leak():
+    module = compile_program(SOURCE)
+    cloned = clone_module(module)
+    cloned.functions["main"].blocks["entry0"].instrs.insert(
+        0, Mov(Reg("zz"), Const(1))
+    )
+    original_first = module.functions["main"].blocks["entry0"].instrs[0]
+    assert not (isinstance(original_first, Mov) and original_first.dest == Reg("zz"))
+
+
+def test_verifier_accepts_compiled_modules():
+    verify_module(compile_program(SOURCE))
+
+
+def test_verifier_rejects_missing_terminator():
+    module = compile_program("func void main() { int a = 1; print(a); }")
+    main = module.functions["main"]
+    main.blocks[main.entry].instrs.pop()  # drop the ret
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(main)
+
+
+def test_verifier_rejects_empty_block():
+    module = compile_program("func void main() { }")
+    main = module.functions["main"]
+    main.blocks[main.entry].instrs.clear()
+    with pytest.raises(VerificationError, match="empty block"):
+        verify_function(main)
+
+
+def test_verifier_rejects_dangling_branch():
+    module = compile_program("func void main() { }")
+    main = module.functions["main"]
+    main.blocks[main.entry].instrs[-1] = Jump("nowhere")
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_function(main)
+
+
+def test_verifier_rejects_undefined_register_use():
+    module = compile_program("func void main() { }")
+    main = module.functions["main"]
+    main.blocks[main.entry].instrs.insert(
+        0, BinOp(Reg("x"), "+", Reg("ghost"), Const(1))
+    )
+    with pytest.raises(VerificationError, match="undefined register"):
+        verify_function(main)
+
+
+def test_verifier_rejects_mid_block_terminator():
+    module = compile_program("func void main() { int a = 1; print(a); }")
+    main = module.functions["main"]
+    main.blocks[main.entry].instrs.insert(1, Ret(None))
+    with pytest.raises(VerificationError, match="terminator in block body"):
+        verify_function(main)
+
+
+def test_printer_roundtrips_key_features():
+    module = compile_program(SOURCE)
+    text = format_module(module)
+    assert "struct Node" in text
+    assert "global" in text and "@g" in text
+    assert "func main" in text
+    assert "; loop main.L0" in text
+    assert "call twice" in text
+
+
+def test_fusion_reduces_instruction_count():
+    module_raw = compile_program(SOURCE, optimize=False)
+    module_opt = compile_program(SOURCE, optimize=True)
+    raw = sum(len(b.instrs) for b in module_raw.functions["main"].ordered_blocks())
+    opt = sum(len(b.instrs) for b in module_opt.functions["main"].ordered_blocks())
+    assert opt < raw
+
+
+def test_fusion_is_idempotent():
+    module = compile_program(SOURCE, optimize=True)
+    again = sum(
+        fuse_single_use_temps(f) for f in module.functions.values()
+    )
+    assert again == 0
+
+
+def test_fusion_skips_multi_use_temps():
+    # `t` feeds two consumers: it must not be fused into either.
+    source = """
+    func void main() {
+      int a = 3;
+      int t = a * a;
+      int x = t + 1;
+      int y = t + 2;
+      print(x, y);
+    }
+    """
+    _, out = run_program(compile_program(source, optimize=True))
+    assert out == "10 11\n"
+
+
+def test_remove_unreachable_prunes_loop_metadata():
+    module = compile_program(
+        "func void main() { if (false) { while (true) { } } print(1); }"
+    )
+    main = module.functions["main"]
+    # The while(true) loop is unreachable; its metadata must not survive
+    # in a form that points at missing blocks.
+    for meta in main.loops.values():
+        assert meta.header in main.blocks

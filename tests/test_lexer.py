@@ -1,0 +1,123 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokKind.EOF
+
+
+def test_integer_literal():
+    toks = tokenize("42")
+    assert toks[0].kind is TokKind.INT
+    assert toks[0].text == "42"
+
+
+def test_float_literal_forms():
+    assert kinds("1.5") == [TokKind.FLOAT]
+    assert kinds("2.") == [TokKind.FLOAT]
+    assert kinds("1e3") == [TokKind.FLOAT]
+    assert kinds("1.5e-2") == [TokKind.FLOAT]
+    assert kinds("1E+4") == [TokKind.FLOAT]
+
+
+def test_int_followed_by_method_like_dot():
+    # "1.x" is not a float; it lexes as INT DOT IDENT.
+    assert kinds("1 . x") == [TokKind.INT, TokKind.DOT, TokKind.IDENT]
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("if iffy") == [TokKind.KW_IF, TokKind.IDENT]
+    assert kinds("whilex while") == [TokKind.IDENT, TokKind.KW_WHILE]
+    assert kinds("new null true false") == [
+        TokKind.KW_NEW,
+        TokKind.KW_NULL,
+        TokKind.KW_TRUE,
+        TokKind.KW_FALSE,
+    ]
+
+
+def test_two_char_operators():
+    assert kinds("-> == != <= >= && || += -= *= /=") == [
+        TokKind.ARROW,
+        TokKind.EQ,
+        TokKind.NE,
+        TokKind.LE,
+        TokKind.GE,
+        TokKind.AND,
+        TokKind.OR,
+        TokKind.PLUS_ASSIGN,
+        TokKind.MINUS_ASSIGN,
+        TokKind.STAR_ASSIGN,
+        TokKind.SLASH_ASSIGN,
+    ]
+
+
+def test_single_char_operators():
+    assert kinds("( ) { } [ ] , ; . * + - / % = < > !") == [
+        TokKind.LPAREN, TokKind.RPAREN, TokKind.LBRACE, TokKind.RBRACE,
+        TokKind.LBRACKET, TokKind.RBRACKET, TokKind.COMMA, TokKind.SEMI,
+        TokKind.DOT, TokKind.STAR, TokKind.PLUS, TokKind.MINUS,
+        TokKind.SLASH, TokKind.PERCENT, TokKind.ASSIGN, TokKind.LT,
+        TokKind.GT, TokKind.NOT,
+    ]
+
+
+def test_line_comments_are_skipped():
+    assert kinds("a // comment\n b") == [TokKind.IDENT, TokKind.IDENT]
+
+
+def test_block_comments_are_skipped():
+    assert kinds("a /* x\ny */ b") == [TokKind.IDENT, TokKind.IDENT]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_string_literal_with_escapes():
+    toks = tokenize('"a\\nb\\t\\"q\\\\"')
+    assert toks[0].kind is TokKind.STRING
+    assert toks[0].text == 'a\nb\t"q\\'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_bad_escape_raises():
+    with pytest.raises(LexError):
+        tokenize('"\\q"')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_minus_then_number_is_two_tokens():
+    assert kinds("-5") == [TokKind.MINUS, TokKind.INT]
+
+
+def test_identifier_with_underscores_and_digits():
+    toks = tokenize("_x9_y")
+    assert toks[0].kind is TokKind.IDENT
+    assert toks[0].text == "_x9_y"

@@ -1,0 +1,128 @@
+"""Live-out snapshot tests: canonicalization and tolerant comparison."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.liveout import capture, snapshots_equal
+from repro.interp.values import ArrayObj, StructObj
+from repro.lang.types import INT
+
+
+def make_array(oid, data):
+    return ArrayObj(oid, INT, list(data))
+
+
+def make_node(oid, val, nxt=None):
+    return StructObj(oid, "Node", {"val": val, "next": nxt})
+
+
+def test_scalar_roots():
+    snap = capture([1, 2.5, True, None])
+    assert snap.roots == (1, 2.5, True, None)
+    assert snap.objects == ()
+
+
+def test_heap_canonicalization_is_allocation_order_independent():
+    # Same structure built with different object ids must snapshot equal.
+    a1 = make_node(10, 1, make_node(11, 2))
+    b1 = make_node(99, 1, make_node(42, 2))
+    assert snapshots_equal(capture([a1]), capture([b1]))
+
+
+def test_value_difference_detected():
+    a = make_node(1, 1, make_node(2, 2))
+    b = make_node(1, 1, make_node(2, 3))
+    assert not snapshots_equal(capture([a]), capture([b]))
+
+
+def test_structure_difference_detected():
+    a = make_node(1, 1, make_node(2, 2))
+    b = make_node(1, 1, None)
+    assert not snapshots_equal(capture([a]), capture([b]))
+
+
+def test_shared_object_identity_preserved():
+    shared = make_node(5, 7)
+    two_refs = capture([shared, shared])
+    two_copies = capture([make_node(5, 7), make_node(6, 7)])
+    assert two_refs.roots[0] == two_refs.roots[1]
+    assert two_copies.roots[0] != two_copies.roots[1]
+    assert not snapshots_equal(two_refs, two_copies)
+
+
+def test_cyclic_structures_terminate_and_compare():
+    a = make_node(1, 1)
+    a.fields["next"] = a
+    b = make_node(2, 1)
+    b.fields["next"] = b
+    assert snapshots_equal(capture([a]), capture([b]))
+    c = make_node(3, 2)
+    c.fields["next"] = c
+    assert not snapshots_equal(capture([a]), capture([c]))
+
+
+def test_arrays_compare_elementwise():
+    assert snapshots_equal(
+        capture([make_array(1, [1, 2, 3])]), capture([make_array(9, [1, 2, 3])])
+    )
+    assert not snapshots_equal(
+        capture([make_array(1, [1, 2, 3])]), capture([make_array(1, [1, 2, 4])])
+    )
+    assert not snapshots_equal(
+        capture([make_array(1, [1, 2])]), capture([make_array(1, [1, 2, 3])])
+    )
+
+
+def test_float_tolerance():
+    a = capture([make_array(1, [1.0, 2.0])])
+    b = capture([make_array(1, [1.0 + 1e-12, 2.0 - 1e-12])])
+    assert snapshots_equal(a, b, rtol=1e-9)
+    c = capture([make_array(1, [1.01, 2.0])])
+    assert not snapshots_equal(a, c, rtol=1e-9)
+
+
+def test_bool_not_confused_with_int():
+    assert not snapshots_equal(capture([True]), capture([1]))
+    assert not snapshots_equal(capture([False]), capture([0]))
+
+
+def test_mixed_graph_of_structs_and_arrays():
+    arr = make_array(1, [10, 20])
+    node = StructObj(2, "Holder", {"data": arr, "tag": 5})
+    snap = capture([node, arr])
+    assert snap.size() == 2
+    # Root 1 (the array) must be the same canonical object reached via the
+    # struct's field.
+    assert snap.roots[1] == snap.objects[0][2][0]
+
+
+@st.composite
+def int_list_pairs(draw):
+    data = draw(st.lists(st.integers(-100, 100), min_size=0, max_size=12))
+    return data
+
+
+@given(int_list_pairs())
+@settings(max_examples=50)
+def test_capture_is_deterministic(data):
+    a = capture([make_array(1, data), sum(data)])
+    b = capture([make_array(77, data), sum(data)])
+    assert snapshots_equal(a, b)
+    assert a == b  # canonical ids make them structurally identical
+
+
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=10),
+    st.integers(0, 9),
+    st.integers(-3, 3),
+)
+@settings(max_examples=50)
+def test_any_single_element_change_is_detected(data, idx, delta):
+    if delta == 0:
+        delta = 1
+    idx = idx % len(data)
+    changed = list(data)
+    changed[idx] += delta
+    assert not snapshots_equal(
+        capture([make_array(1, data)]), capture([make_array(1, changed)])
+    )

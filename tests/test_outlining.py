@@ -1,0 +1,186 @@
+"""Payload outlining tests: semantic preservation and shape restrictions."""
+
+import pytest
+
+from repro import compile_program, run_program
+from repro.core.payload import OutlineError, outline_payload
+from repro.ir.verify import verify_module
+
+
+def outline_and_run(source, label, func_name="main"):
+    """Outline a loop, verify the IR, and run the transformed program."""
+    original = compile_program(source)
+    _, expected = run_program(compile_program(source))
+    module = compile_program(source)
+    result = outline_payload(module, module.functions[func_name], label)
+    verify_module(module)
+    _, actual = run_program(module)
+    return result, expected, actual
+
+
+MAP_LOOP = """
+func void main() {
+  int[] a = new int[6];
+  for (int i = 0; i < 6; i = i + 1) { a[i] = i * i; }
+  int s = 0;
+  for (int i = 0; i < 6; i = i + 1) { s = s + a[i]; }
+  print(s);
+}
+"""
+
+
+def test_outlined_map_preserves_semantics():
+    result, expected, actual = outline_and_run(MAP_LOOP, "main.L0")
+    assert actual == expected == "55\n"
+    assert result.payload_func == "__payload_main_L0"
+
+
+def test_outline_creates_payload_function_and_env_struct():
+    module = compile_program(MAP_LOOP)
+    result = outline_payload(module, module.functions["main"], "main.L0")
+    assert result.payload_func in module.functions
+    assert result.env_struct in module.structs
+    payload = module.functions[result.payload_func]
+    assert payload.params[0][1].struct_name == result.env_struct
+
+
+def test_accumulator_routed_through_env():
+    source = """
+    func void main() {
+      int s = 0;
+      for (int i = 0; i < 5; i = i + 1) { s = s + i * i; }
+      print(s);
+    }
+    """
+    result, expected, actual = outline_and_run(source, "main.L0")
+    assert actual == expected == "30\n"
+    from repro.ir.instructions import Reg
+    assert Reg("s") in result.output_regs
+
+
+def test_conditional_payload_outlines():
+    source = """
+    func void main() {
+      int[] a = new int[8];
+      int n = 0;
+      for (int i = 0; i < 8; i = i + 1) {
+        if (i % 2 == 0) { a[i] = i; n = n + 1; }
+      }
+      print(n, a[4]);
+    }
+    """
+    _result, expected, actual = outline_and_run(source, "main.L0")
+    assert actual == expected == "4 4\n"
+
+
+def test_payload_with_inner_loop_outlines():
+    source = """
+    func void main() {
+      int total = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        int row = 0;
+        for (int j = 0; j < 3; j = j + 1) { row = row + i * j; }
+        total = total + row;
+      }
+      print(total);
+    }
+    """
+    result, expected, actual = outline_and_run(source, "main.L0")
+    assert actual == expected == "18\n"
+    # The inner loop moved into the payload function.
+    payload = "__payload_main_L0"
+
+
+def test_plds_traversal_outlines():
+    source = """
+    struct Node { int val; Node* next; }
+    func void main() {
+      Node* head = null;
+      for (int k = 0; k < 5; k = k + 1) {
+        Node* n = new Node; n->val = k; n->next = head; head = n;
+      }
+      Node* p = head;
+      while (p) { p->val = p->val * 2; p = p->next; }
+      int s = 0;
+      p = head;
+      while (p) { s = s + p->val; p = p->next; }
+      print(s);
+    }
+    """
+    _result, expected, actual = outline_and_run(source, "main.L1")
+    assert actual == expected == "20\n"
+
+
+def test_empty_payload_raises():
+    source = """
+    func void main() {
+      int i = 0;
+      while (i < 5) { i = i + 1; }
+      print(i);
+    }
+    """
+    module = compile_program(source)
+    with pytest.raises(OutlineError) as err:
+        outline_payload(module, module.functions["main"], "main.L0")
+    assert err.value.reason == "empty-payload"
+
+
+def test_early_return_loop_outlines_via_exit_edge():
+    # The return block lies outside the natural loop (it cannot reach the
+    # latch), so a loop with an early return still outlines correctly.
+    source = """
+    func int f(int x) {
+      int seen = 0;
+      for (int i = 0; i < 5; i = i + 1) {
+        seen = seen + 1;
+        if (i == x) { return seen; }
+      }
+      return 0 - seen;
+    }
+    func void main() { print(f(3), f(9)); }
+    """
+    original = compile_program(source)
+    _, expected = run_program(original)
+    module = compile_program(source)
+    outline_payload(module, module.functions["f"], "f.L0")
+    verify_module(module)
+    _, actual = run_program(module)
+    assert actual == expected == "4 -5\n"
+
+
+def test_unknown_loop_raises():
+    module = compile_program(MAP_LOOP)
+    with pytest.raises(OutlineError) as err:
+        outline_payload(module, module.functions["main"], "main.L9")
+    assert err.value.reason == "no-such-loop"
+
+
+def test_outlining_twice_raises():
+    module = compile_program(MAP_LOOP)
+    outline_payload(module, module.functions["main"], "main.L0")
+    with pytest.raises(OutlineError):
+        outline_payload(module, module.functions["main"], "main.L0")
+
+
+def test_multiple_exits_with_break_in_iterator():
+    source = """
+    func void main() {
+      int[] a = new int[10];
+      int limit = 7;
+      for (int i = 0; i < 10; i = i + 1) {
+        if (i == limit) { break; }
+        a[i] = i + 1;
+      }
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+      print(s);
+    }
+    """
+    _result, expected, actual = outline_and_run(source, "main.L0")
+    assert actual == expected == "28\n"
+
+
+def test_outline_keeps_other_loops_intact():
+    module = compile_program(MAP_LOOP)
+    outline_payload(module, module.functions["main"], "main.L0")
+    assert "main.L1" in module.functions["main"].loops

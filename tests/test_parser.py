@@ -1,0 +1,199 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    PointerType,
+)
+
+
+def parse_main(body):
+    program = parse("func void main() { %s }" % body)
+    return program.functions[0].body
+
+
+def first_stmt(body):
+    return parse_main(body)[0]
+
+
+def test_struct_declaration():
+    program = parse("struct Node { int val; Node* next; }")
+    decl = program.structs[0]
+    assert decl.name == "Node"
+    assert decl.field_names == ["val", "next"]
+    assert decl.field_types == [INT, PointerType("Node")]
+
+
+def test_global_declarations():
+    program = parse("int n = 5; float x; bool f = true;")
+    assert [g.name for g in program.globals] == ["n", "x", "f"]
+    assert program.globals[0].var_type == INT
+    assert isinstance(program.globals[0].init, ast.IntLit)
+    assert program.globals[1].init is None
+
+
+def test_function_signature():
+    program = parse("func int add(int a, float b) { return a; }")
+    func = program.functions[0]
+    assert func.name == "add"
+    assert func.return_type == INT
+    assert [(p.name, p.param_type) for p in func.params] == [
+        ("a", INT),
+        ("b", FLOAT),
+    ]
+
+
+def test_array_types():
+    program = parse("int[] a; int[][] b; Node*[] c; struct Node { int v; }")
+    assert program.globals[0].var_type == ArrayType(INT)
+    assert program.globals[1].var_type == ArrayType(ArrayType(INT))
+    assert program.globals[2].var_type == ArrayType(PointerType("Node"))
+
+
+def test_vardecl_vs_multiplication():
+    # `Node* p` is a declaration; like C, the `IDENT * IDENT ;` statement
+    # form resolves as a declaration, so multiplications in statement
+    # position need an assignment or parentheses.
+    stmts = parse_main("Node* p = null; int a = 1; int b = 2; a * b;")
+    assert isinstance(stmts[0], ast.VarDecl)
+    assert isinstance(stmts[3], ast.VarDecl)  # parsed as `a* b;`
+    expr = parse_main("int a = 1; int b = 2; int r = a * b;")[2]
+    assert isinstance(expr.init, ast.BinOp)
+
+
+def test_compound_assignment_keeps_operator():
+    stmt = first_stmt("int x = 0; x += 3;")
+    stmts = parse_main("int x = 0; x += 3;")
+    assign = stmts[1]
+    assert isinstance(assign, ast.Assign)
+    assert assign.compound_op == "+"
+    assert isinstance(assign.value, ast.IntLit)
+
+
+def test_operator_precedence():
+    stmt = first_stmt("int x = 1 + 2 * 3;")
+    assert isinstance(stmt.init, ast.BinOp)
+    assert stmt.init.op == "+"
+    assert stmt.init.rhs.op == "*"
+
+
+def test_comparison_binds_looser_than_arithmetic():
+    stmt = first_stmt("bool b = 1 + 2 < 4;")
+    assert stmt.init.op == "<"
+    assert stmt.init.lhs.op == "+"
+
+
+def test_logical_operators_precedence():
+    stmt = first_stmt("bool b = true || false && false;")
+    assert stmt.init.op == "||"
+    assert stmt.init.rhs.op == "&&"
+
+
+def test_parentheses_override():
+    stmt = first_stmt("int x = (1 + 2) * 3;")
+    assert stmt.init.op == "*"
+    assert stmt.init.lhs.op == "+"
+
+
+def test_field_access_and_index_chain():
+    stmt = first_stmt("int v = p->next->vals[3];")
+    index = stmt.init
+    assert isinstance(index, ast.IndexAccess)
+    field = index.base
+    assert isinstance(field, ast.FieldAccess)
+    assert field.field_name == "vals"
+    assert field.base.field_name == "next"
+
+
+def test_dot_is_synonym_for_arrow():
+    a = first_stmt("int v = p.val;")
+    b = first_stmt("int v = p->val;")
+    assert isinstance(a.init, ast.FieldAccess)
+    assert a.init.field_name == b.init.field_name == "val"
+
+
+def test_new_struct_and_new_array():
+    stmts = parse_main(
+        "Node* p = new Node; int[] a = new int[10]; Node*[] q = new Node*[5];"
+    )
+    assert isinstance(stmts[0].init, ast.NewStruct)
+    assert isinstance(stmts[1].init, ast.NewArray)
+    assert stmts[1].init.elem_type == INT
+    assert stmts[2].init.elem_type == PointerType("Node")
+
+
+def test_nested_array_allocation():
+    stmt = first_stmt("int[][] m = new int[][4];")
+    assert stmt.init.elem_type == ArrayType(INT)
+
+
+def test_if_else_if_chain():
+    stmt = first_stmt("if (a) { } else if (b) { } else { }")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_body[0], ast.If)
+    assert stmt.else_body[0].else_body == []or stmt.else_body[0].else_body is not None
+
+
+def test_while_and_for():
+    stmts = parse_main(
+        "while (x) { x = x - 1; } for (int i = 0; i < 3; i = i + 1) { }"
+    )
+    assert isinstance(stmts[0], ast.While)
+    assert isinstance(stmts[1], ast.For)
+    assert isinstance(stmts[1].init, ast.VarDecl)
+
+
+def test_for_with_empty_clauses():
+    stmt = first_stmt("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_break_continue_return():
+    stmts = parse_main("while (1) { break; continue; } return;")
+    assert isinstance(stmts[0].body[0], ast.Break)
+    assert isinstance(stmts[0].body[1], ast.Continue)
+    assert isinstance(stmts[1], ast.Return)
+
+
+def test_call_with_arguments():
+    stmt = first_stmt("f(1, x, g());")
+    call = stmt.expr
+    assert isinstance(call, ast.Call)
+    assert call.func == "f"
+    assert len(call.args) == 3
+    assert isinstance(call.args[2], ast.Call)
+
+
+def test_unary_operators():
+    stmt = first_stmt("int x = -y; ")
+    assert isinstance(stmt.init, ast.UnOp)
+    stmt2 = first_stmt("bool b = !c;")
+    assert stmt2.init.op == "!"
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("func void main() { int x = 1 }")
+
+
+def test_unbalanced_braces_raise():
+    with pytest.raises(ParseError):
+        parse("func void main() { if (x) { }")
+
+
+def test_bad_type_position_raises():
+    with pytest.raises(ParseError):
+        parse("func void main() { int = 3; }")
+
+
+def test_struct_pointer_requires_star():
+    with pytest.raises(ParseError):
+        parse("func void f(Node n) { }")

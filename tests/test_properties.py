@@ -1,0 +1,131 @@
+"""Hypothesis property tests over the whole DCA pipeline.
+
+The central invariants:
+
+* any randomly generated *map* loop (disjoint element updates from pure
+  expressions) is commutative;
+* any loop whose final state threads a running value into distinguishable
+  per-element slots is non-commutative;
+* DCA's transformed programs always replay the original semantics under
+  the identity schedule (checked implicitly: a split-mismatch verdict
+  would surface otherwise).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile_program, run_program
+from repro.core import COMMUTATIVE, NON_COMMUTATIVE, SPLIT_MISMATCH, DcaAnalyzer
+
+#: Pure int expression templates over (i, element a[i]).
+_EXPRS = [
+    "i * {c1} + {c2}",
+    "(i + {c1}) * (i + {c2})",
+    "i % ({c1} + 1) + {c2}",
+    "a[i] + i * {c1} - {c2}",
+    "a[i] * {c1} + i",
+]
+
+
+@st.composite
+def map_loop_programs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    template = draw(st.sampled_from(_EXPRS))
+    c1 = draw(st.integers(0, 9))
+    c2 = draw(st.integers(0, 9))
+    expr = template.format(c1=c1, c2=c2)
+    source = f"""
+    func void main() {{
+      int[] a = new int[{n}];
+      for (int i = 0; i < {n}; i = i + 1) {{ a[i] = {expr}; }}
+      int s = 0;
+      for (int i = 0; i < {n}; i = i + 1) {{ s = s + a[i] * (i + 1); }}
+      print(s);
+    }}
+    """
+    return source
+
+
+@given(map_loop_programs())
+@settings(max_examples=25, deadline=None)
+def test_random_map_loops_are_commutative(source):
+    module = compile_program(source)
+    report = DcaAnalyzer(module).analyze()
+    assert report.loop("main.L0").verdict == COMMUTATIVE
+    # And the weighted-sum consumer loop is a plain reduction:
+    assert report.loop("main.L1").verdict == COMMUTATIVE
+
+
+@st.composite
+def running_value_programs(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    step = draw(st.integers(1, 7))
+    source = f"""
+    func void main() {{
+      int[] out = new int[{n}];
+      int run = 0;
+      for (int i = 0; i < {n}; i = i + 1) {{
+        run = run + {step};
+        out[i] = run * (i + 1);
+      }}
+      int s = 0;
+      for (int i = 0; i < {n}; i = i + 1) {{ s = s + out[i] * (i + 2); }}
+      print(s);
+    }}
+    """
+    return source
+
+
+@given(running_value_programs())
+@settings(max_examples=15, deadline=None)
+def test_running_value_loops_are_non_commutative(source):
+    module = compile_program(source)
+    report = DcaAnalyzer(module).analyze()
+    assert report.loop("main.L0").verdict == NON_COMMUTATIVE
+
+
+@given(map_loop_programs())
+@settings(max_examples=15, deadline=None)
+def test_split_transformation_never_breaks_semantics(source):
+    """No generated map loop may produce a split-mismatch verdict."""
+    module = compile_program(source)
+    report = DcaAnalyzer(module).analyze()
+    for result in report.results.values():
+        assert result.verdict != SPLIT_MISMATCH
+
+
+@given(
+    st.lists(st.integers(-20, 20), min_size=2, max_size=10),
+)
+@settings(max_examples=25, deadline=None)
+def test_interpreter_agrees_with_python_on_sums(values):
+    n = len(values)
+    inits = " ".join(
+        f"a[{i}] = {v};" if v >= 0 else f"a[{i}] = 0 - {-v};"
+        for i, v in enumerate(values)
+    )
+    source = f"""
+    func void main() {{
+      int[] a = new int[{n}];
+      {inits}
+      int s = 0;
+      for (int i = 0; i < {n}; i = i + 1) {{ s = s + a[i]; }}
+      print(s);
+    }}
+    """
+    _, out = run_program(source)
+    assert out == f"{sum(values)}\n"
+
+
+@given(st.integers(-1000, 1000), st.integers(-50, 50))
+@settings(max_examples=50)
+def test_div_mod_identity_matches_c(a, b):
+    if b == 0:
+        return
+    from repro.interp.interpreter import _c_mod, _trunc_div
+
+    q, r = _trunc_div(a, b), _c_mod(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # Sign of remainder follows the dividend (C99).
+    assert r == 0 or (r > 0) == (a > 0)

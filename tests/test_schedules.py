@@ -1,0 +1,91 @@
+"""Schedule tests, including hypothesis property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedules import (
+    EvenOddSchedule,
+    IdentitySchedule,
+    RandomSchedule,
+    ReverseSchedule,
+    RotationSchedule,
+    ScheduleConfig,
+    is_valid_permutation,
+)
+
+ALL_SCHEDULES = [
+    IdentitySchedule(),
+    ReverseSchedule(),
+    RandomSchedule(7),
+    RandomSchedule(12345),
+    EvenOddSchedule(),
+    RotationSchedule(1),
+    RotationSchedule(5),
+]
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=60)
+def test_every_schedule_yields_valid_permutation(n):
+    for schedule in ALL_SCHEDULES:
+        order = schedule.permutation(n)
+        assert is_valid_permutation(order, n), (schedule.name, n)
+
+
+@given(st.integers(min_value=0, max_value=100))
+def test_identity_is_identity(n):
+    assert IdentitySchedule().permutation(n) == list(range(n))
+
+
+@given(st.integers(min_value=0, max_value=100))
+def test_reverse_is_reverse(n):
+    assert ReverseSchedule().permutation(n) == list(range(n))[::-1]
+
+
+@given(st.integers(min_value=0, max_value=64), st.integers(0, 2**30))
+def test_random_schedule_is_deterministic(n, seed):
+    a = RandomSchedule(seed).permutation(n)
+    b = RandomSchedule(seed).permutation(n)
+    assert a == b
+
+
+def test_random_schedules_differ_by_seed():
+    a = RandomSchedule(1).permutation(50)
+    b = RandomSchedule(2).permutation(50)
+    assert a != b
+
+
+@given(st.integers(min_value=2, max_value=200))
+def test_reverse_actually_perturbs(n):
+    assert ReverseSchedule().permutation(n) != list(range(n))
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(1, 49))
+def test_rotation_wraps(n, k):
+    order = RotationSchedule(k).permutation(n)
+    assert is_valid_permutation(order, n)
+    if n > 1:
+        assert order[0] == k % n
+
+
+def test_default_config_shape():
+    config = ScheduleConfig.default(n_random=3)
+    names = [s.name for s in config.schedules]
+    assert names[0] == "identity"
+    assert names[1] == "reverse"
+    assert len([n for n in names if n.startswith("random")]) == 3
+    # identity is excluded from the perturbing set
+    testing = config.testing_schedules()
+    assert all(s.name != "identity" for s in testing)
+    assert len(testing) == 4
+
+
+def test_evenodd_separates_parities():
+    order = EvenOddSchedule().permutation(6)
+    assert order == [0, 2, 4, 1, 3, 5]
+
+
+def test_is_valid_permutation_rejects_bad():
+    assert not is_valid_permutation([0, 0, 1], 3)
+    assert not is_valid_permutation([0, 1], 3)
+    assert not is_valid_permutation([1, 2, 3], 3)
