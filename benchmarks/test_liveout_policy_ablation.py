@@ -87,7 +87,11 @@ def _ablate():
         verdicts = []
         for policy in ("strict", "eventual"):
             module = compile_program(source)
-            report = DcaAnalyzer(module, liveout_policy=policy).analyze()
+            # Static pre-screen off: the ablation compares the *dynamic*
+            # live-out comparison policies, so every loop must reach it.
+            report = DcaAnalyzer(
+                module, liveout_policy=policy, static_filter=False
+            ).analyze()
             result = report.loop(_TARGETS[name])
             verdicts.append(
                 "commutative" if result.is_commutative else result.verdict

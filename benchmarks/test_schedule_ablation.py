@@ -94,7 +94,11 @@ def _ablate():
         verdicts = []
         for sched_name, config in _SCHEDULE_SETS.items():
             module = compile_program(source)
-            report = DcaAnalyzer(module, schedules=config).analyze()
+            # Static pre-screen off: this ablation measures what the
+            # *dynamic* schedules alone can observe.
+            report = DcaAnalyzer(
+                module, schedules=config, static_filter=False
+            ).analyze()
             target = report.loop("main.L0")
             verdicts.append("comm" if target.is_commutative else "CAUGHT")
         rows.append((prog_name, *verdicts))

@@ -30,6 +30,13 @@ from repro.ir.instructions import (
     UnOp,
 )
 
+__all__ = [
+    "Affine",
+    "AffineContext",
+    "ArrayAccess",
+    "cross_iteration_dependence",
+]
+
 Affine = Dict[object, int]  # keys: Reg atoms or None (constant)
 
 

@@ -32,6 +32,11 @@ from repro.ir.instructions import (
     StoreGlobal,
 )
 
+__all__ = [
+    "AbsObj",
+    "PointsTo",
+]
+
 #: Abstract object: ("alloc", id(instr)) — one per allocation site.
 AbsObj = Tuple[str, int]
 

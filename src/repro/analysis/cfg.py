@@ -11,6 +11,12 @@ from typing import Dict, List, Optional, Set
 
 from repro.ir.function import Function
 
+__all__ = [
+    "compute_dominators",
+    "dominates",
+    "reverse_postorder",
+]
+
 
 def reverse_postorder(func: Function) -> List[str]:
     """Reverse-postorder over blocks reachable from the entry."""

@@ -14,6 +14,13 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 from repro.ir.function import Function
 from repro.ir.instructions import Instr, Reg
 
+__all__ = [
+    "DefSite",
+    "DefUseGraph",
+    "ReachingDefs",
+    "Site",
+]
+
 Site = Tuple[str, int]
 
 

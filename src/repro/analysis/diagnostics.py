@@ -1,0 +1,166 @@
+"""Diagnostics engine for the static commutativity prover.
+
+Turns :class:`~repro.analysis.commutativity.StaticLoopVerdict` objects
+into compiler-style diagnostics with a severity, a location, a headline
+message and the full evidence chain, and renders them as text (for
+``repro lint``) or JSON (for tooling).
+
+Severities follow the pre-screening semantics rather than "is this a
+bug": a proven race is a ``warning`` (parallelizing this loop would be
+wrong), a proven-commutative loop is ``info`` (safe to parallelize
+without dynamic testing), and an unproven loop is a ``note`` (the
+dynamic stage must decide).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.analysis.commutativity import (
+    PROVEN_COMMUTATIVE,
+    PROVEN_NONCOMMUTATIVE,
+    Evidence,
+    StaticLoopVerdict,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticEngine",
+    "SEVERITIES",
+    "diagnostic_from_static",
+]
+
+SEVERITIES = ("warning", "info", "note")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Diagnostic codes, keyed by the leading evidence kind where one exists.
+_CODE_BY_EVIDENCE = {
+    "ordered-io": "DCA-IO",
+    "scalar-output-race": "DCA-RACE",
+}
+
+
+@dataclass
+class Diagnostic:
+    """One loop-scoped diagnostic."""
+
+    severity: str
+    code: str
+    function: str
+    loop: str
+    line: int
+    message: str
+    evidence: List[Evidence] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"{self.function}:{self.line}: {self.severity}: "
+            f"[{self.code}] loop {self.loop}: {self.message}"
+        ]
+        lines.extend(f"    {ev}" for ev in self.evidence)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "function": self.function,
+            "loop": self.loop,
+            "line": self.line,
+            "message": self.message,
+            "evidence": [
+                {"kind": ev.kind, "detail": ev.detail, "site": ev.site}
+                for ev in self.evidence
+            ],
+        }
+
+
+class DiagnosticEngine:
+    """Collects diagnostics and renders them as text or JSON."""
+
+    def __init__(self, program: str = "<program>"):
+        self.program = program
+        self.diagnostics: List[Diagnostic] = []
+
+    def add(self, diag: Diagnostic) -> None:
+        if diag.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity: {diag.severity}")
+        self.diagnostics.append(diag)
+
+    def ingest_static(
+        self, verdicts: Iterable[StaticLoopVerdict]
+    ) -> None:
+        for verdict in verdicts:
+            self.add(diagnostic_from_static(verdict))
+
+    def counts(self) -> Dict[str, int]:
+        out = {name: 0 for name in SEVERITIES}
+        for diag in self.diagnostics:
+            out[diag.severity] += 1
+        return out
+
+    def _sorted(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                _SEVERITY_RANK[d.severity],
+                d.function,
+                d.line,
+                d.loop,
+            ),
+        )
+
+    def render_text(self) -> str:
+        lines = [diag.format() for diag in self._sorted()]
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[name]} {name}{'s' if counts[name] != 1 else ''}"
+            for name in SEVERITIES
+        )
+        lines.append(f"{self.program}: {len(self.diagnostics)} loops ({summary})")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "program": self.program,
+                "counts": self.counts(),
+                "diagnostics": [d.to_dict() for d in self._sorted()],
+            },
+            indent=2,
+        )
+
+
+def diagnostic_from_static(verdict: StaticLoopVerdict) -> Diagnostic:
+    """Map one static verdict onto a diagnostic."""
+    if verdict.verdict == PROVEN_NONCOMMUTATIVE:
+        severity = "warning"
+        code = _CODE_BY_EVIDENCE.get(
+            verdict.evidence[0].kind if verdict.evidence else "", "DCA-RACE"
+        )
+        message = (
+            "provably non-commutative: iteration order determines "
+            "observable results"
+        )
+    elif verdict.verdict == PROVEN_COMMUTATIVE:
+        severity = "info"
+        code = "DCA-SAFE"
+        message = (
+            "provably commutative: safe to parallelize without dynamic "
+            "testing"
+        )
+    else:
+        severity = "note"
+        code = "DCA-DYN"
+        message = "not statically provable: dynamic testing required"
+    return Diagnostic(
+        severity=severity,
+        code=code,
+        function=verdict.function,
+        loop=verdict.label,
+        line=verdict.line,
+        message=message,
+        evidence=list(verdict.evidence),
+    )

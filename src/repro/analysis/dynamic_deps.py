@@ -34,6 +34,13 @@ from repro.interp.events import Observer
 from repro.ir.function import Module
 from repro.ir.instructions import Instr
 
+__all__ = [
+    "DepEdge",
+    "DynamicDepProfiler",
+    "LoopDeps",
+    "SiteRegistry",
+]
+
 #: (func_name, block_name, index)
 Site = Tuple[str, str, int]
 
@@ -135,10 +142,17 @@ class DynamicDepProfiler(Observer):
         self._priv: Dict[Tuple[str, Tuple], _PrivState] = {}
         #: Labels of loops that were entered at least once.
         self.executed: set = set()
+        #: Highest trip count observed per loop label (across invocations).
+        self.max_trips: Dict[str, int] = {}
         self.interp = None  # set by attach()
 
     def on_loop_enter(self, label: str, invocation: int) -> None:
         self.executed.add(label)
+        self.max_trips.setdefault(label, 0)
+
+    def on_loop_iteration(self, label: str, invocation: int, iteration: int) -> None:
+        if iteration > self.max_trips.get(label, 0):
+            self.max_trips[label] = iteration
 
     # -- event handlers ---------------------------------------------------------
 

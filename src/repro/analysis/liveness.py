@@ -21,6 +21,11 @@ from repro.ir.function import Function
 from repro.ir.instructions import Reg
 from repro.lang.types import Type
 
+__all__ = [
+    "Liveness",
+    "LoopLiveness",
+]
+
 
 class Liveness:
     """Block-level liveness for one function."""

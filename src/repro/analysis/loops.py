@@ -15,6 +15,13 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.cfg import compute_dominators, dominates, reverse_postorder
 from repro.ir.function import Function
 
+__all__ = [
+    "Loop",
+    "LoopForest",
+    "build_loop_forest",
+    "invalidate_loops",
+]
+
 
 @dataclass
 class Loop:

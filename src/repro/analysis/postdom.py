@@ -16,6 +16,11 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 
+__all__ = [
+    "ControlDependence",
+    "PostDominators",
+]
+
 _VIRTUAL_EXIT = "$exit"
 
 

@@ -25,6 +25,11 @@ from repro.ir.instructions import (
 )
 from repro.lang.builtins import builtin_is_pure
 
+__all__ = [
+    "EffectAnalysis",
+    "FunctionEffects",
+]
+
 
 @dataclass
 class FunctionEffects:

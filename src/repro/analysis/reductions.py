@@ -35,6 +35,21 @@ from repro.ir.instructions import (
     SetIndex,
 )
 
+__all__ = [
+    "CARRIED_UNKNOWN",
+    "COMPLEX_REDUCTIONS",
+    "HistogramUpdate",
+    "INDUCTION",
+    "LoopIdioms",
+    "POINTER_CHASE",
+    "REDUCTION_ADD",
+    "REDUCTION_MINMAX",
+    "REDUCTION_MINMAX_COND",
+    "REDUCTION_MUL",
+    "SIMPLE_REDUCTIONS",
+    "classify_loop",
+]
+
 #: Scalar classifications.
 INDUCTION = "induction"
 POINTER_CHASE = "pointer-chase"

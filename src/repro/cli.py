@@ -5,15 +5,19 @@ Usage::
     python -m repro run program.mc            # compile + execute
     python -m repro analyze program.mc        # DCA verdict per loop
     python -m repro detect program.mc         # DCA vs all five baselines
+    python -m repro lint program.mc           # static diagnostics only
     python -m repro ir program.mc             # dump the IR
 
 Options: ``--entry NAME`` (default main), ``--rtol X``, ``--policy
-strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze).
+strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze),
+``--json`` (machine-readable reports), ``--no-static-filter`` (disable
+the static pre-screen and run every loop dynamically).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -40,17 +44,38 @@ def cmd_ir(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hit_rate_line(report) -> str:
+    hits, tested = report.static_hit_rate()
+    if not report.static_filter:
+        return "static pre-screen: disabled"
+    if tested == 0:
+        return "static pre-screen: no loops reached the testing stage"
+    return (
+        f"static pre-screen: decided {hits}/{tested} tested loops "
+        f"({hits / tested:.0%}); {report.schedule_executions} schedule "
+        "executions performed"
+    )
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core import DcaAnalyzer
 
     module = compile_program(_read(args.program))
     analyzer = DcaAnalyzer(
-        module, entry=args.entry, rtol=args.rtol, liveout_policy=args.policy
+        module,
+        entry=args.entry,
+        rtol=args.rtol,
+        liveout_policy=args.policy,
+        static_filter=not args.no_static_filter,
     )
     report = analyzer.analyze()
+    if args.json:
+        print(report.to_json())
+        return 0
     print(report.summary())
     commutative = report.commutative_labels()
     print(f"\n{len(commutative)}/{len(report.results)} loops commutative")
+    print(_hit_rate_line(report))
 
     if args.cores and commutative:
         from repro.parallel import MachineModel, ParallelSimulator
@@ -79,7 +104,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
     source = _read(args.program)
     report = DcaAnalyzer(
-        compile_program(source), entry=args.entry, rtol=args.rtol
+        compile_program(source),
+        entry=args.entry,
+        rtol=args.rtol,
+        static_filter=not args.no_static_filter,
     ).analyze()
     ctx = build_context(compile_program(source), entry=args.entry)
     detectors = [
@@ -90,6 +118,24 @@ def cmd_detect(args: argparse.Namespace) -> int:
         IccDetector(),
     ]
     results = {d.name: d.detect(ctx) for d in detectors}
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "dca": report.to_dict(),
+                    "baselines": {
+                        d.name: {
+                            label: bool(res and res.parallel)
+                            for label, res in results[d.name].items()
+                        }
+                        for d in detectors
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
 
     header = f"{'loop':14s}" + "".join(f"{d.name[:8]:>10s}" for d in detectors)
     header += f"{'DCA':>20s}"
@@ -102,6 +148,22 @@ def cmd_detect(args: argparse.Namespace) -> int:
             row += f"{'yes' if res and res.parallel else '-':>10s}"
         row += f"{report.results[label].verdict:>20s}"
         print(row)
+    print(_hit_rate_line(report))
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.commutativity import StaticCommutativityAnalysis
+    from repro.analysis.diagnostics import DiagnosticEngine
+
+    module = compile_program(_read(args.program))
+    verdicts = StaticCommutativityAnalysis(module).analyze()
+    engine = DiagnosticEngine(program=args.program)
+    engine.ingest_static(verdicts.values())
+    if args.json:
+        print(engine.render_json())
+    else:
+        print(engine.render_text())
     return 0
 
 
@@ -130,12 +192,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--policy", choices=("strict", "eventual"), default="strict")
     p_an.add_argument("--cores", type=int, default=0,
                       help="also simulate parallel speedup on N cores")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the report as JSON")
+    p_an.add_argument("--no-static-filter", action="store_true",
+                      help="disable the static pre-screen")
     p_an.set_defaults(func=cmd_analyze)
 
     p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
     common(p_det)
     p_det.add_argument("--rtol", type=float, default=1e-9)
+    p_det.add_argument("--json", action="store_true",
+                       help="emit DCA + baseline verdicts as JSON")
+    p_det.add_argument("--no-static-filter", action="store_true",
+                       help="disable the static pre-screen")
     p_det.set_defaults(func=cmd_detect)
+
+    p_lint = sub.add_parser(
+        "lint", help="static commutativity diagnostics (no execution)"
+    )
+    common(p_lint)
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

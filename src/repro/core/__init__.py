@@ -18,6 +18,9 @@ from repro.core.payload import OutlineError, OutlineResult, outline_payload
 from repro.core.report import (
     COMMUTATIVE,
     COMMUTATIVE_VACUOUS,
+    DECIDED_DYNAMIC,
+    DECIDED_SELECTION,
+    DECIDED_STATIC,
     EXCLUDED_IO,
     ITERATOR_ONLY,
     NON_COMMUTATIVE,
@@ -44,6 +47,9 @@ __all__ = [
     "COMMUTATIVE",
     "COMMUTATIVE_VACUOUS",
     "CommutativityMismatch",
+    "DECIDED_DYNAMIC",
+    "DECIDED_SELECTION",
+    "DECIDED_STATIC",
     "DcaAnalyzer",
     "DcaReport",
     "DcaRuntime",

@@ -4,22 +4,32 @@
 
 1. **Selection** — every source loop is a candidate unless it (or a callee)
    performs I/O (§IV-E).
-2. **Golden run** — the observe variant executes once, collecting per-loop,
+2. **Static pre-screen** — the static commutativity prover
+   (:mod:`repro.analysis.commutativity`) resolves loops whose verdict
+   follows from the IR alone; proven loops skip permutation testing
+   entirely (disable with ``static_filter=False`` / ``--no-static-filter``).
+3. **Golden run** — the observe variant executes once, collecting per-loop,
    per-invocation live-out snapshots in original program order.
-3. **Testing** — per candidate loop, a test variant (outlined + split) runs
-   once per schedule.  The identity schedule runs first as a transformation
-   sanity check; perturbing schedules (reverse, random) only run when the
-   loop actually iterates (≥2 trips somewhere), since permuting fewer than
-   two iterations cannot change anything.
-4. **Verdicts** — any divergence or fault under a perturbing schedule marks
+4. **Testing** — per remaining candidate loop, a test variant (outlined +
+   split) runs once per schedule.  The identity schedule runs first as a
+   transformation sanity check; perturbing schedules (reverse, random) only
+   run when the loop actually iterates (≥2 trips somewhere), since
+   permuting fewer than two iterations cannot change anything.
+5. **Verdicts** — any divergence or fault under a perturbing schedule marks
    the loop non-commutative; identity divergence marks the transformation
    unsound for that loop (reported separately as ``split-mismatch``).
+   Every :class:`~repro.core.report.LoopResult` records which stage decided
+   it (``decided_by``: selection / static / dynamic).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.commutativity import (
+    PROVEN_COMMUTATIVE,
+    StaticCommutativityAnalysis,
+)
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.purity import EffectAnalysis
@@ -35,6 +45,9 @@ from repro.core.payload import OutlineError
 from repro.core.report import (
     COMMUTATIVE,
     COMMUTATIVE_VACUOUS,
+    DECIDED_DYNAMIC,
+    DECIDED_SELECTION,
+    DECIDED_STATIC,
     EXCLUDED_IO,
     ITERATOR_ONLY,
     NON_COMMUTATIVE,
@@ -65,6 +78,7 @@ class DcaAnalyzer:
         max_steps: Optional[int] = None,
         candidate_labels: Optional[Sequence[str]] = None,
         liveout_policy: str = "strict",
+        static_filter: bool = True,
     ):
         self.module = module
         self.entry = entry
@@ -82,8 +96,15 @@ class DcaAnalyzer:
         #: output, return value, final global state) — the relaxation that
         #: lets transient worklist ordering violations pass (paper §I/§III).
         self.liveout_policy = liveout_policy
+        #: Pre-screen loops with the static commutativity prover: loops
+        #: with a proven static verdict skip permutation testing.
+        self.static_filter = static_filter
+        #: label -> StaticLoopVerdict, filled when the pre-screen runs.
+        self.static_verdicts = {}
         #: Same-invocation dynamic flow edges, filled by the profiling run.
         self.memory_flow = None
+        #: label -> highest trip count seen in the profiling run.
+        self._profiled_trips: Dict[str, int] = {}
 
     # -- selection -----------------------------------------------------------
 
@@ -111,6 +132,7 @@ class DcaAnalyzer:
                 if loop_does_io(func, loop.blocks, effects):
                     result.verdict = EXCLUDED_IO
                     result.reason = "loop or callee performs I/O"
+                    result.decided_by = DECIDED_SELECTION
                 results[label] = result
         return results
 
@@ -128,6 +150,7 @@ class DcaAnalyzer:
         #: discovered in an enclosing loop's scope must not leak into an
         #: inner loop's slice.
         self.memory_flow = profiler.memory_flow_edges()
+        self._profiled_trips = dict(profiler.max_trips)
 
     def _program_outcome(self, interp: Interpreter, result: object):
         """The eventual observable outcome of a finished execution."""
@@ -138,8 +161,18 @@ class DcaAnalyzer:
     def analyze(self) -> DcaReport:
         report = DcaReport(entry=self.entry)
         report.results = self.select_candidates()
+        report.static_filter = self.static_filter
 
         self._profile_memory_flow(report)
+        if self.static_filter:
+            self.static_verdicts = StaticCommutativityAnalysis(
+                self.module
+            ).analyze()
+            for label, result in report.results.items():
+                verdict = self.static_verdicts.get(label)
+                if verdict is not None:
+                    result.static_verdict = verdict.verdict
+                    result.static_evidence = [str(e) for e in verdict.evidence]
         effects = EffectAnalysis(self.module)
         testable = [
             label
@@ -176,9 +209,42 @@ class DcaAnalyzer:
             result.invocations = self._golden_counts[label]
             if result.invocations == 0:
                 result.verdict = NOT_EXERCISED
+                result.decided_by = DECIDED_SELECTION
                 continue
+            if self._apply_static_verdict(label, result):
+                continue
+            result.decided_by = DECIDED_DYNAMIC
             self._test_loop(label, specs[label], golden, result, report)
         return report
+
+    def _apply_static_verdict(self, label: str, result: LoopResult) -> bool:
+        """Resolve a loop from its static proof, skipping permutation
+        testing.  Applies only when the proof's preconditions hold for
+        this workload: the loop must have a payload to permute (else the
+        dynamic stage's ``iterator-only`` verdict is the truthful one)
+        and must reach two iterations somewhere (else permutation is
+        vacuous).  A non-commutativity proof additionally asserts a
+        *per-exit* live-out difference, so it only stands in for the
+        strict policy — under the eventual policy the difference may
+        never become observable.
+        """
+        if not self.static_filter:
+            return False
+        verdict = self.static_verdicts.get(label)
+        if verdict is None or not verdict.is_proven or verdict.payload_empty:
+            return False
+        if self._profiled_trips.get(label, 0) < 2:
+            return False
+        if verdict.verdict == PROVEN_COMMUTATIVE:
+            result.verdict = COMMUTATIVE
+        elif self.liveout_policy == "strict":
+            result.verdict = NON_COMMUTATIVE
+        else:
+            return False
+        result.decided_by = DECIDED_STATIC
+        result.reason = verdict.headline()
+        result.max_trip = self._profiled_trips.get(label, 0)
+        return True
 
     # -- per-loop testing ----------------------------------------------------------
 
@@ -281,6 +347,7 @@ class DcaAnalyzer:
             max_steps=getattr(self, "_test_step_budget", self.max_steps),
         )
         report.executions += 1
+        report.schedule_executions += 1
         try:
             entry_result = interp.run(self.entry, self.args)
         except CommutativityMismatch:

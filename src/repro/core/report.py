@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Verdict values, roughly ordered from best to worst.
 COMMUTATIVE = "commutative"
@@ -18,6 +19,11 @@ EXCLUDED_IO = "excluded-io"  # I/O inside the loop (§IV-E)
 
 #: Verdicts DCA reports as (potentially) parallelizable.
 _COMMUTATIVE_VERDICTS = frozenset({COMMUTATIVE, COMMUTATIVE_VACUOUS})
+
+#: Which pipeline stage produced a loop's verdict.
+DECIDED_SELECTION = "selection"  # candidate selection (I/O, never ran)
+DECIDED_STATIC = "static"  # static pre-screen proof
+DECIDED_DYNAMIC = "dynamic"  # permutation testing
 
 
 @dataclass
@@ -34,6 +40,12 @@ class LoopResult:
     max_trip: int = 0
     schedules_tested: List[str] = field(default_factory=list)
     failed_schedule: Optional[str] = None
+    #: Which stage decided the verdict (selection / static / dynamic).
+    decided_by: str = DECIDED_DYNAMIC
+    #: Static pre-screen verdict for this loop, when the pass ran.
+    static_verdict: Optional[str] = None
+    #: Evidence chain backing the static verdict (rendered strings).
+    static_evidence: List[str] = field(default_factory=list)
 
     @property
     def is_commutative(self) -> bool:
@@ -42,6 +54,24 @@ class LoopResult:
     @property
     def qualified_name(self) -> str:
         return self.label
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "function": self.function,
+            "line": self.line,
+            "kind": self.kind,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "invocations": self.invocations,
+            "max_trip": self.max_trip,
+            "schedules_tested": list(self.schedules_tested),
+            "failed_schedule": self.failed_schedule,
+            "decided_by": self.decided_by,
+            "static_verdict": self.static_verdict,
+            "static_evidence": list(self.static_evidence),
+            "is_commutative": self.is_commutative,
+        }
 
     def __str__(self) -> str:
         extra = f" ({self.reason})" if self.reason else ""
@@ -56,6 +86,10 @@ class DcaReport:
     results: Dict[str, LoopResult] = field(default_factory=dict)
     #: Total interpreted executions performed (golden + tests).
     executions: int = 0
+    #: Permutation-schedule executions performed by the dynamic stage.
+    schedule_executions: int = 0
+    #: Whether the static pre-screen ran for this report.
+    static_filter: bool = False
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]
@@ -71,6 +105,39 @@ class DcaReport:
         for result in self.results.values():
             counts[result.verdict] = counts.get(result.verdict, 0) + 1
         return counts
+
+    def decided_by_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results.values():
+            counts[result.decided_by] = counts.get(result.decided_by, 0) + 1
+        return counts
+
+    def static_hit_rate(self) -> Tuple[int, int]:
+        """(statically decided, loops that reached the testing stage)."""
+        tested = [
+            r
+            for r in self.results.values()
+            if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+        ]
+        hits = sum(1 for r in tested if r.decided_by == DECIDED_STATIC)
+        return hits, len(tested)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entry": self.entry,
+            "executions": self.executions,
+            "schedule_executions": self.schedule_executions,
+            "static_filter": self.static_filter,
+            "verdict_counts": self.verdict_counts(),
+            "decided_by": self.decided_by_counts(),
+            "loops": {
+                label: self.results[label].to_dict()
+                for label in sorted(self.results)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def summary(self) -> str:
         lines = [f"DCA report (entry={self.entry}, {self.executions} executions)"]

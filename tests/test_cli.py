@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,11 +46,52 @@ def test_cli_analyze_with_cores(program_file, capsys):
     assert "Simulated on 4 cores" in capsys.readouterr().out
 
 
+def test_cli_analyze_reports_hit_rate(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    assert "static pre-screen: decided 1/1" in capsys.readouterr().out
+
+
+def test_cli_analyze_no_static_filter(program_file, capsys):
+    assert main(["analyze", program_file, "--no-static-filter"]) == 0
+    out = capsys.readouterr().out
+    assert "main.L0: commutative" in out
+    assert "static pre-screen: disabled" in out
+
+
+def test_cli_analyze_json(program_file, capsys):
+    assert main(["analyze", program_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    loop = payload["loops"]["main.L0"]
+    assert loop["verdict"] == "commutative"
+    assert loop["decided_by"] == "static"
+    assert payload["static_filter"] is True
+
+
 def test_cli_detect(program_file, capsys):
     assert main(["detect", program_file]) == 0
     out = capsys.readouterr().out
     assert "dep-prof" in out
     assert "commutative" in out
+
+
+def test_cli_detect_json(program_file, capsys):
+    assert main(["detect", program_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dca"]["loops"]["main.L0"]["is_commutative"] is True
+    assert "dep-profiling" in payload["baselines"]
+
+
+def test_cli_lint(program_file, capsys):
+    assert main(["lint", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "DCA-SAFE" in out
+    assert "1 loops" in out
+
+
+def test_cli_lint_json(program_file, capsys):
+    assert main(["lint", program_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["info"] == 1
 
 
 def test_cli_requires_subcommand():

@@ -397,4 +397,11 @@ def test_report_helpers():
     assert report.commutative_labels() == ["main.L0"]
     assert report.verdict_counts() == {COMMUTATIVE: 1}
     assert "main.L0" in report.summary()
-    assert report.executions >= 3  # profile + golden + identity(+)
+    # The static pre-screen proves the reduction, so only the profile and
+    # golden runs execute; without it the dynamic stage adds schedule runs.
+    assert report.loop("main.L0").decided_by == "static"
+    assert report.executions == 2
+    dynamic = DcaAnalyzer(module, static_filter=False).analyze()
+    assert dynamic.loop("main.L0").decided_by == "dynamic"
+    assert dynamic.executions >= 3  # profile + golden + identity(+)
+    assert dynamic.schedule_executions > 0

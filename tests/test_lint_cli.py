@@ -1,0 +1,93 @@
+"""``repro lint`` smoke test over every program in ``examples/``.
+
+Every ``.mc`` file is linted directly; every ``.py`` example is scanned
+for an inline ``SOURCE`` program and for ``by_name("...")`` benchmark
+references, and each program found is linted too — so example programs
+cannot rot silently.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite import by_name
+from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _lint(path, capsys, json_mode=False):
+    argv = ["lint", str(path)] + (["--json"] if json_mode else [])
+    exit_code = main(argv)
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert out.strip(), f"no diagnostics for {path}"
+    return out
+
+
+def _programs_from_python(path):
+    """(name, source) programs referenced by one example script."""
+    text = path.read_text()
+    programs = []
+    match = re.search(r'SOURCE\s*=\s*(?:r)?"""(.*?)"""', text, re.DOTALL)
+    if match:
+        programs.append((f"{path.name}:SOURCE", match.group(1)))
+    # Literal by_name("X") references plus argv-default names
+    # (`sys.argv[1] if ... else "X"`).
+    names = set(re.findall(r'by_name\(\s*"([^"]+)"\s*\)', text))
+    if "by_name" in text:
+        names.update(re.findall(r'else\s+"([^"]+)"', text))
+    for name in sorted(names):
+        try:
+            source = by_name(name).source
+        except KeyError:
+            continue
+        programs.append((f"{path.name}:{name}", source))
+    return programs
+
+
+def _example_files():
+    files = sorted(EXAMPLES.iterdir())
+    assert files, "examples/ directory is empty"
+    return files
+
+
+@pytest.mark.parametrize(
+    "path", _example_files(), ids=lambda p: p.name
+)
+def test_lint_example(path, tmp_path, capsys):
+    if path.suffix == ".mc":
+        out = _lint(path, capsys)
+        assert "loops (" in out  # summary line present
+    elif path.suffix == ".py":
+        programs = _programs_from_python(path)
+        assert programs, f"{path.name} references no lintable program"
+        for name, source in programs:
+            target = tmp_path / (re.sub(r"\W", "_", name) + ".mc")
+            target.write_text(source)
+            _lint(target, capsys)
+    else:
+        pytest.skip(f"not a lintable example: {path.name}")
+
+
+def test_lint_json_output(capsys):
+    mc_files = [p for p in _example_files() if p.suffix == ".mc"]
+    assert mc_files
+    payload = json.loads(_lint(mc_files[0], capsys, json_mode=True))
+    assert payload["diagnostics"], "JSON output has no diagnostics"
+    for diag in payload["diagnostics"]:
+        assert diag["severity"] in ("warning", "info", "note")
+        assert diag["loop"] and diag["function"]
+
+
+def test_lint_flags_each_archetype(capsys):
+    """The shipped examples cover all three diagnostic severities."""
+    seen = set()
+    for path in EXAMPLES.glob("*.mc"):
+        out = _lint(path, capsys)
+        for sev in ("warning", "info", "note"):
+            if f" {sev}: " in out:
+                seen.add(sev)
+    assert seen == {"warning", "info", "note"}
