@@ -49,14 +49,21 @@ def _measure():
         filtered = _run(bench, static_filter=True)
         unfiltered = _run(bench, static_filter=False)
         hits, tested = filtered.static_hit_rate()
+        # Consume the counts through the report's machine-readable
+        # "metrics" section — the same surface `analyze --json` exposes.
+        filtered_metrics = filtered.to_dict()["metrics"]
+        unfiltered_metrics = unfiltered.to_dict()["metrics"]
         rows.append(
             {
                 "suite": bench.suite,
                 "name": bench.name,
                 "tested": tested,
                 "static": hits,
-                "sched_with": filtered.schedule_executions,
-                "sched_without": unfiltered.schedule_executions,
+                "sched_with": filtered_metrics["schedule_executions"],
+                "sched_without": unfiltered_metrics["schedule_executions"],
+                "saved_bound": filtered_metrics[
+                    "schedule_executions_saved_static"
+                ],
                 "filtered": filtered,
                 "unfiltered": unfiltered,
             }
@@ -101,6 +108,19 @@ def test_static_filter_savings(benchmark, capsys):
     ), "pre-screen saved no schedule executions on PLDS"
     # At least 25% of candidate loops skip permutation testing overall.
     assert hits / tested >= 0.25, f"hit rate {hits}/{tested} below 25%"
+    # The reports' own savings estimate bounds the measured savings:
+    # statically decided loops account for the full testing budget, but a
+    # non-commutative loop may short-circuit mid-way in the full run.
+    assert saved > 0
+    for r in rows:
+        actual_saved = r["sched_without"] - r["sched_with"]
+        if r["static"]:
+            assert 0 < actual_saved <= r["saved_bound"], (
+                f"{r['name']}: saved {actual_saved} outside "
+                f"(0, {r['saved_bound']}]"
+            )
+        else:
+            assert actual_saved == 0 and r["saved_bound"] == 0
 
     for r in rows:
         filtered, unfiltered = r["filtered"], r["unfiltered"]

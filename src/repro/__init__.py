@@ -21,6 +21,9 @@ analysis and evaluation infrastructure:
     Parallel code generation and the simulated multicore executor.
 ``repro.benchsuite``
     MiniC ports of the NPB-style and PLDS benchmark programs.
+``repro.obs``
+    Pipeline-wide observability: spans (Chrome-trace export), metrics,
+    structured events — stdlib-only, disabled by default.
 
 Typical use::
 

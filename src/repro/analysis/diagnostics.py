@@ -10,6 +10,11 @@ bug": a proven race is a ``warning`` (parallelizing this loop would be
 wrong), a proven-commutative loop is ``info`` (safe to parallelize
 without dynamic testing), and an unproven loop is a ``note`` (the
 dynamic stage must decide).
+
+The severity names are drawn from the shared scale in
+:mod:`repro.obs.events`, so diagnostics can be mirrored into the
+structured event log (:meth:`DiagnosticEngine.to_events`) and sort
+consistently with runtime events.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.analysis.commutativity import (
     Evidence,
     StaticLoopVerdict,
 )
+from repro.obs.events import SEVERITIES as EVENT_SEVERITIES
 
 __all__ = [
     "Diagnostic",
@@ -32,7 +38,11 @@ __all__ = [
     "diagnostic_from_static",
 ]
 
-SEVERITIES = ("warning", "info", "note")
+#: The subset of the shared severity scale used by lint diagnostics,
+#: in the shared scale's order (most severe first).
+SEVERITIES = tuple(
+    name for name in EVENT_SEVERITIES if name in ("warning", "info", "note")
+)
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
 #: Diagnostic codes, keyed by the leading evidence kind where one exists.
@@ -121,6 +131,21 @@ class DiagnosticEngine:
         )
         lines.append(f"{self.program}: {len(self.diagnostics)} loops ({summary})")
         return "\n".join(lines)
+
+    def to_events(self, log, provenance: str = "static") -> int:
+        """Mirror every diagnostic into a structured event log
+        (:class:`repro.obs.events.EventLog`); returns the count emitted."""
+        for diag in self._sorted():
+            log.emit(
+                diag.severity,
+                diag.code,
+                diag.message,
+                provenance=provenance,
+                function=diag.function,
+                loop=diag.loop,
+                line=diag.line,
+            )
+        return len(self.diagnostics)
 
     def render_json(self) -> str:
         return json.dumps(

@@ -8,9 +8,11 @@ configured for *maximum detection capability* (§V-A Configuration).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.analysis.alias import PointsTo
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import Loop, LoopForest, build_loop_forest
@@ -44,6 +46,10 @@ class DetectionContext:
     #: Dynamic profile; None when the profiled run was skipped.
     profile: Optional[DynamicDepProfiler] = None
     profiled_steps: int = 0
+    #: Per-component cost records ("profile" plus one entry per detector
+    #: that ran), comparable with DCA's report metrics: loops classified,
+    #: wall ms, and for dynamic components instructions/executions.
+    costs: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def loop(self, label: str) -> Loop:
         func = self.loop_functions[label]
@@ -78,13 +84,21 @@ def build_context(
 
     profile = None
     profiled_steps = 0
+    costs: Dict[str, Dict[str, float]] = {}
     if run_profile:
         profile = DynamicDepProfiler(module)
         interp = Interpreter(module, observers=[profile], max_steps=max_steps)
-        interp.run(entry, list(args or []))
+        start = time.perf_counter()
+        with obs.current().span("baseline.profile", entry=entry):
+            interp.run(entry, list(args or []))
         profiled_steps = interp.steps
+        costs["profile"] = {
+            "executions": 1,
+            "instructions": profiled_steps,
+            "wall_ms": (time.perf_counter() - start) * 1000.0,
+        }
 
-    return DetectionContext(
+    ctx = DetectionContext(
         module=module,
         effects=EffectAnalysis(module),
         points_to=PointsTo(module),
@@ -94,6 +108,8 @@ def build_context(
         profile=profile,
         profiled_steps=profiled_steps,
     )
+    ctx.costs.update(costs)
+    return ctx
 
 
 class Detector:
@@ -102,12 +118,25 @@ class Detector:
     name = "abstract"
 
     def detect(self, ctx: DetectionContext) -> Dict[str, DetectionResult]:
+        active = obs.current()
         results = {}
-        for label in ctx.all_labels():
-            parallel, reason = self.classify_loop(ctx, label)
-            results[label] = DetectionResult(
-                label=label, parallel=parallel, reason=reason, detector=self.name
-            )
+        start = time.perf_counter()
+        with active.span("baseline.detect", detector=self.name):
+            for label in ctx.all_labels():
+                parallel, reason = self.classify_loop(ctx, label)
+                results[label] = DetectionResult(
+                    label=label, parallel=parallel, reason=reason,
+                    detector=self.name,
+                )
+        ctx.costs[self.name] = {
+            "loops": len(results),
+            "parallel": sum(1 for r in results.values() if r.parallel),
+            "wall_ms": (time.perf_counter() - start) * 1000.0,
+        }
+        if active.enabled:
+            active.metrics.counter(
+                f"baseline.{self.name}.loops_classified"
+            ).inc(len(results))
         return results
 
     def classify_loop(self, ctx: DetectionContext, label: str):

@@ -5,6 +5,7 @@ Usage::
     python -m repro run program.mc            # compile + execute
     python -m repro analyze program.mc        # DCA verdict per loop
     python -m repro detect program.mc         # DCA vs all five baselines
+    python -m repro profile program.mc        # pipeline cost breakdown
     python -m repro lint program.mc           # static diagnostics only
     python -m repro ir program.mc             # dump the IR
 
@@ -12,6 +13,12 @@ Options: ``--entry NAME`` (default main), ``--rtol X``, ``--policy
 strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze),
 ``--json`` (machine-readable reports), ``--no-static-filter`` (disable
 the static pre-screen and run every loop dynamically).
+
+Observability: ``profile`` runs with full tracing and accepts ``--trace
+out.json`` (Chrome trace-event JSON for ``chrome://tracing``),
+``--metrics out.json`` and ``--events out.jsonl``; ``analyze`` and
+``detect`` accept ``--profile`` (per-loop cost breakdown in text output)
+and ``--trace out.json`` (enables tracing for the run).
 """
 
 from __future__ import annotations
@@ -57,18 +64,48 @@ def _hit_rate_line(report) -> str:
     )
 
 
+def _obs_session(args: argparse.Namespace):
+    """Enable observability when the command asked for a trace; returns
+    the enabled context, or None when tracing was not requested."""
+    if not getattr(args, "trace", None):
+        return None
+    import repro.obs as obs
+
+    return obs.enable()
+
+
+def _obs_finish(args: argparse.Namespace, ctx) -> None:
+    """Write the requested trace file and restore the disabled context."""
+    if ctx is None:
+        return
+    import repro.obs as obs
+
+    _write_json(args.trace, ctx.tracer.to_chrome_trace())
+    print(f"trace written to {args.trace}", file=sys.stderr)
+    obs.disable()
+
+
+def _write_json(path: str, payload) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core import DcaAnalyzer
 
-    module = compile_program(_read(args.program))
-    analyzer = DcaAnalyzer(
-        module,
-        entry=args.entry,
-        rtol=args.rtol,
-        liveout_policy=args.policy,
-        static_filter=not args.no_static_filter,
-    )
-    report = analyzer.analyze()
+    ctx = _obs_session(args)
+    try:
+        module = compile_program(_read(args.program))
+        analyzer = DcaAnalyzer(
+            module,
+            entry=args.entry,
+            rtol=args.rtol,
+            liveout_policy=args.policy,
+            static_filter=not args.no_static_filter,
+        )
+        report = analyzer.analyze()
+    finally:
+        _obs_finish(args, ctx)
     if args.json:
         print(report.to_json())
         return 0
@@ -76,6 +113,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     commutative = report.commutative_labels()
     print(f"\n{len(commutative)}/{len(report.results)} loops commutative")
     print(_hit_rate_line(report))
+    print(report.cost_summary())
+    if args.profile:
+        print()
+        print(report.cost_table())
 
     if args.cores and commutative:
         from repro.parallel import MachineModel, ParallelSimulator
@@ -102,22 +143,26 @@ def cmd_detect(args: argparse.Namespace) -> int:
     )
     from repro.core import DcaAnalyzer
 
-    source = _read(args.program)
-    report = DcaAnalyzer(
-        compile_program(source),
-        entry=args.entry,
-        rtol=args.rtol,
-        static_filter=not args.no_static_filter,
-    ).analyze()
-    ctx = build_context(compile_program(source), entry=args.entry)
-    detectors = [
-        DependenceProfilingDetector(),
-        DiscoPopDetector(),
-        IdiomsDetector(),
-        PollyDetector(),
-        IccDetector(),
-    ]
-    results = {d.name: d.detect(ctx) for d in detectors}
+    obs_ctx = _obs_session(args)
+    try:
+        source = _read(args.program)
+        report = DcaAnalyzer(
+            compile_program(source),
+            entry=args.entry,
+            rtol=args.rtol,
+            static_filter=not args.no_static_filter,
+        ).analyze()
+        ctx = build_context(compile_program(source), entry=args.entry)
+        detectors = [
+            DependenceProfilingDetector(),
+            DiscoPopDetector(),
+            IdiomsDetector(),
+            PollyDetector(),
+            IccDetector(),
+        ]
+        results = {d.name: d.detect(ctx) for d in detectors}
+    finally:
+        _obs_finish(args, obs_ctx)
 
     if args.json:
         print(
@@ -131,6 +176,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
                         }
                         for d in detectors
                     },
+                    "costs": ctx.costs,
                 },
                 indent=2,
             )
@@ -149,6 +195,67 @@ def cmd_detect(args: argparse.Namespace) -> int:
         row += f"{report.results[label].verdict:>20s}"
         print(row)
     print(_hit_rate_line(report))
+    profile_cost = ctx.costs.get("profile", {})
+    print(
+        f"cost: DCA {report.executions} executions / "
+        f"{report.interp_instructions} instrs; profiled baselines "
+        f"{int(profile_cost.get('executions', 0))} execution / "
+        f"{int(profile_cost.get('instructions', 0))} instrs"
+    )
+    if args.profile:
+        for name in sorted(ctx.costs):
+            if name == "profile":
+                continue
+            cost = ctx.costs[name]
+            print(
+                f"  {name:14s} {cost['wall_ms']:8.2f} ms  "
+                f"{int(cost['parallel'])}/{int(cost['loops'])} loops parallel"
+            )
+        print()
+        print(report.cost_table())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+    from repro.driver import profile_program
+
+    try:
+        report, ctx = profile_program(
+            _read(args.program),
+            entry=args.entry,
+            rtol=args.rtol,
+            liveout_policy=args.policy,
+            static_filter=not args.no_static_filter,
+        )
+        print(f"== pipeline profile: {args.program} ==")
+        print(report.cost_summary())
+        print(_hit_rate_line(report))
+        print()
+        print(report.cost_table())
+        print()
+        print("== flame (wall time by span path) ==")
+        print(ctx.tracer.flame_summary())
+        if args.trace:
+            _write_json(args.trace, ctx.tracer.to_chrome_trace())
+            print(f"\ntrace written to {args.trace} (load in chrome://tracing)")
+        if args.metrics:
+            _write_json(
+                args.metrics,
+                {
+                    "program": args.program,
+                    "registry": ctx.metrics.to_dict(),
+                    "report": report.metrics_dict(),
+                },
+            )
+            print(f"metrics written to {args.metrics}")
+        if args.events:
+            with open(args.events, "w") as handle:
+                jsonl = ctx.events.to_jsonl()
+                handle.write(jsonl + "\n" if jsonl else "")
+            print(f"events written to {args.events}")
+    finally:
+        obs.disable()
     return 0
 
 
@@ -196,6 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the report as JSON")
     p_an.add_argument("--no-static-filter", action="store_true",
                       help="disable the static pre-screen")
+    p_an.add_argument("--profile", action="store_true",
+                      help="include the per-loop cost breakdown table")
+    p_an.add_argument("--trace", metavar="FILE",
+                      help="enable tracing; write Chrome trace-event JSON")
     p_an.set_defaults(func=cmd_analyze)
 
     p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
@@ -205,7 +316,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit DCA + baseline verdicts as JSON")
     p_det.add_argument("--no-static-filter", action="store_true",
                        help="disable the static pre-screen")
+    p_det.add_argument("--profile", action="store_true",
+                       help="include per-detector and per-loop cost detail")
+    p_det.add_argument("--trace", metavar="FILE",
+                       help="enable tracing; write Chrome trace-event JSON")
     p_det.set_defaults(func=cmd_detect)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run DCA with full observability and report pipeline cost",
+    )
+    common(p_prof)
+    p_prof.add_argument("--rtol", type=float, default=1e-9)
+    p_prof.add_argument("--policy", choices=("strict", "eventual"),
+                        default="strict")
+    p_prof.add_argument("--no-static-filter", action="store_true",
+                        help="disable the static pre-screen")
+    p_prof.add_argument("--trace", metavar="FILE",
+                        help="write Chrome trace-event JSON "
+                             "(load in chrome://tracing)")
+    p_prof.add_argument("--metrics", metavar="FILE",
+                        help="write the metrics registry as JSON")
+    p_prof.add_argument("--events", metavar="FILE",
+                        help="write the structured event log as JSONL")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="static commutativity diagnostics (no execution)"

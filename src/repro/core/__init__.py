@@ -29,6 +29,7 @@ from repro.core.report import (
     SPLIT_MISMATCH,
     UNTESTABLE,
     DcaReport,
+    LoopCost,
     LoopResult,
 )
 from repro.core.runtime import CommutativityMismatch, DcaRuntime
@@ -58,6 +59,7 @@ __all__ = [
     "ITERATOR_ONLY",
     "IdentitySchedule",
     "IteratorSeparation",
+    "LoopCost",
     "LoopResult",
     "NON_COMMUTATIVE",
     "NOT_EXERCISED",

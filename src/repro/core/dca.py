@@ -24,8 +24,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.analysis.commutativity import (
     PROVEN_COMMUTATIVE,
     StaticCommutativityAnalysis,
@@ -56,6 +59,7 @@ from repro.core.report import (
     SPLIT_MISMATCH,
     UNTESTABLE,
     DcaReport,
+    LoopCost,
     LoopResult,
 )
 from repro.core.runtime import CommutativityMismatch, DcaRuntime
@@ -79,6 +83,7 @@ class DcaAnalyzer:
         candidate_labels: Optional[Sequence[str]] = None,
         liveout_policy: str = "strict",
         static_filter: bool = True,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.module = module
         self.entry = entry
@@ -105,6 +110,56 @@ class DcaAnalyzer:
         self.memory_flow = None
         #: label -> highest trip count seen in the profiling run.
         self._profiled_trips: Dict[str, int] = {}
+        #: Injectable monotonic clock (seconds) for stage/schedule timing.
+        self._clock = clock or time.perf_counter
+        #: Observability context; re-resolved at the start of ``analyze``.
+        self._obs = obs.current()
+
+    # -- observability ---------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, report: DcaReport, name: str):
+        """Measure one pipeline stage: wall time into the report, a span
+        into the observability context (when enabled)."""
+        start = self._clock()
+        try:
+            with self._obs.span(f"dca.{name}"):
+                yield
+        finally:
+            elapsed_ms = (self._clock() - start) * 1000.0
+            report.stage_times_ms[name] = (
+                report.stage_times_ms.get(name, 0.0) + elapsed_ms
+            )
+
+    @staticmethod
+    def _absorb_runtime(report: DcaReport, runtime: DcaRuntime) -> None:
+        """Fold one execution's runtime cost counters into report totals."""
+        report.snapshots_taken += runtime.snapshots_taken
+        report.snapshot_nodes += runtime.snapshot_nodes
+        report.snapshot_bytes += runtime.snapshot_bytes
+        report.verify_comparisons += runtime.verify_comparisons
+        report.mismatches += runtime.mismatches
+
+    def _emit_verdict_events(self, report: DcaReport) -> None:
+        if not self._obs.enabled:
+            return
+        for label in sorted(report.results):
+            result = report.results[label]
+            if result.is_commutative:
+                severity = "info"
+            elif result.verdict in (NON_COMMUTATIVE, SPLIT_MISMATCH, RUNTIME_FAULT):
+                severity = "warning"
+            else:
+                severity = "note"
+            self._obs.event(
+                severity,
+                "verdict",
+                f"{label}: {result.verdict}",
+                provenance=result.decided_by,
+                loop=label,
+                verdict=result.verdict,
+                function=result.function,
+            )
 
     # -- selection -----------------------------------------------------------
 
@@ -146,6 +201,7 @@ class DcaAnalyzer:
         )
         interp.run(self.entry, self.args)
         report.executions += 1
+        report.interp_instructions += interp.steps
         #: label -> same-invocation flow edges, kept per loop: an edge
         #: discovered in an enclosing loop's scope must not leak into an
         #: inner loop's slice.
@@ -159,20 +215,35 @@ class DcaAnalyzer:
         return (interp.output_text(), result, capture(roots))
 
     def analyze(self) -> DcaReport:
+        self._obs = obs.current()
         report = DcaReport(entry=self.entry)
-        report.results = self.select_candidates()
+        with self._obs.span("dca.analyze", entry=self.entry):
+            self._analyze(report)
+        self._emit_verdict_events(report)
+        return report
+
+    def _analyze(self, report: DcaReport) -> None:
+        with self._stage(report, "selection"):
+            report.results = self.select_candidates()
         report.static_filter = self.static_filter
 
-        self._profile_memory_flow(report)
+        with self._stage(report, "profile"):
+            self._profile_memory_flow(report)
         if self.static_filter:
-            self.static_verdicts = StaticCommutativityAnalysis(
-                self.module
-            ).analyze()
-            for label, result in report.results.items():
-                verdict = self.static_verdicts.get(label)
-                if verdict is not None:
-                    result.static_verdict = verdict.verdict
-                    result.static_evidence = [str(e) for e in verdict.evidence]
+            with self._stage(report, "static"):
+                self.static_verdicts = StaticCommutativityAnalysis(
+                    self.module
+                ).analyze()
+                for label, result in report.results.items():
+                    verdict = self.static_verdicts.get(label)
+                    if verdict is not None:
+                        result.static_verdict = verdict.verdict
+                        result.static_evidence = [
+                            str(e) for e in verdict.evidence
+                        ]
+                if self._obs.enabled:
+                    for verdict in self.static_verdicts.values():
+                        self._obs.count(f"static.verdict.{verdict.verdict}")
         effects = EffectAnalysis(self.module)
         testable = [
             label
@@ -185,11 +256,18 @@ class DcaAnalyzer:
             specs[label] = compute_verify_spec(self.module, func, label, effects)
 
         # Golden (observe) run: all candidate loops at once.
-        observe = build_observe_module(self.module, specs)
-        golden_rt = DcaRuntime(specs, capture_snapshots=(self.liveout_policy == "strict"))
-        interp = Interpreter(observe, runtime=golden_rt, max_steps=self.max_steps)
-        entry_result = interp.run(self.entry, self.args)
-        report.executions += 1
+        with self._stage(report, "golden"):
+            observe = build_observe_module(self.module, specs)
+            golden_rt = DcaRuntime(
+                specs, capture_snapshots=(self.liveout_policy == "strict")
+            )
+            interp = Interpreter(
+                observe, runtime=golden_rt, max_steps=self.max_steps
+            )
+            entry_result = interp.run(self.entry, self.args)
+            report.executions += 1
+            report.interp_instructions += interp.steps
+            self._absorb_runtime(report, golden_rt)
         golden = golden_rt.snapshots
         self._golden_outcome = self._program_outcome(interp, entry_result)
         self._golden_counts = {
@@ -204,18 +282,21 @@ class DcaAnalyzer:
         else:
             self._test_step_budget = self.max_steps
 
-        for label in testable:
-            result = report.results[label]
-            result.invocations = self._golden_counts[label]
-            if result.invocations == 0:
-                result.verdict = NOT_EXERCISED
-                result.decided_by = DECIDED_SELECTION
-                continue
-            if self._apply_static_verdict(label, result):
-                continue
-            result.decided_by = DECIDED_DYNAMIC
-            self._test_loop(label, specs[label], golden, result, report)
-        return report
+        with self._stage(report, "dynamic"):
+            n_schedules = 1 + len(self.schedules.testing_schedules())
+            for label in testable:
+                result = report.results[label]
+                result.invocations = self._golden_counts[label]
+                if result.invocations == 0:
+                    result.verdict = NOT_EXERCISED
+                    result.decided_by = DECIDED_SELECTION
+                    continue
+                if self._apply_static_verdict(label, result):
+                    report.static_schedules_saved += n_schedules
+                    continue
+                result.decided_by = DECIDED_DYNAMIC
+                with self._obs.span("dca.loop", loop=label):
+                    self._test_loop(label, specs[label], golden, result, report)
 
     def _apply_static_verdict(self, label: str, result: LoopResult) -> bool:
         """Resolve a loop from its static proof, skipping permutation
@@ -274,7 +355,8 @@ class DcaAnalyzer:
         # Identity first: checks that the record/dispatch split preserves
         # the original semantics for this loop.
         identity_rt, identity_ok = self._run_schedule(
-            instrumented.module, IdentitySchedule(), spec, golden, report
+            instrumented.module, IdentitySchedule(), spec, golden, report,
+            result.cost,
         )
         if identity_rt is None or identity_rt.violations or not identity_ok:
             result.verdict = SPLIT_MISMATCH
@@ -297,7 +379,8 @@ class DcaAnalyzer:
 
         for schedule in self.schedules.testing_schedules():
             runtime, outcome_ok = self._run_schedule(
-                instrumented.module, schedule, spec, golden, report
+                instrumented.module, schedule, spec, golden, report,
+                result.cost,
             )
             result.schedules_tested.append(schedule.name)
             if runtime is None:
@@ -324,13 +407,16 @@ class DcaAnalyzer:
         spec: VerifySpec,
         golden: Dict[str, List],
         report: DcaReport,
+        cost: LoopCost,
     ):
         """Run one test execution.
 
         Returns ``(runtime, outcome_ok)``; ``(None, False)`` on a fault.
         Under the strict policy, ``rt_verify`` compares loop live-outs
         online; under the eventual policy only the final program outcome is
-        compared.
+        compared.  Cost bookkeeping (wall time, instructions, snapshot
+        sizes) lands in ``cost`` and the report totals on every path,
+        including mismatch aborts and runtime faults.
         """
         strict = self.liveout_policy == "strict"
         runtime = DcaRuntime(
@@ -348,19 +434,53 @@ class DcaAnalyzer:
         )
         report.executions += 1
         report.schedule_executions += 1
-        try:
-            entry_result = interp.run(self.entry, self.args)
-        except CommutativityMismatch:
-            return runtime, True  # recorded in runtime.violations
-        except MiniCRuntimeError:
-            return None, False
+        cost.schedule_executions += 1
+        self._obs.count("dca.schedule_executions")
+        mismatch = False
+        fault = False
         outcome_ok = True
-        if not strict:
-            outcome = self._program_outcome(interp, entry_result)
-            golden_out, golden_ret, golden_globals = self._golden_outcome
-            outcome_ok = (
-                outcome[0] == golden_out
-                and outcome[1] == golden_ret
-                and snapshots_equal(golden_globals, outcome[2], rtol=self.rtol)
-            )
+        start = self._clock()
+        try:
+            with self._obs.span(
+                "dca.schedule", loop=spec.label, schedule=schedule.name
+            ) as sp:
+                try:
+                    entry_result = interp.run(self.entry, self.args)
+                except CommutativityMismatch:
+                    mismatch = True  # recorded in runtime.violations
+                except MiniCRuntimeError:
+                    fault = True
+                else:
+                    if not strict:
+                        outcome = self._program_outcome(interp, entry_result)
+                        golden_out, golden_ret, golden_globals = (
+                            self._golden_outcome
+                        )
+                        outcome_ok = (
+                            outcome[0] == golden_out
+                            and outcome[1] == golden_ret
+                            and snapshots_equal(
+                                golden_globals, outcome[2], rtol=self.rtol
+                            )
+                        )
+                sp.set(
+                    instructions=interp.steps,
+                    mismatch=mismatch,
+                    fault=fault,
+                )
+        finally:
+            runtime.wall_ms = (self._clock() - start) * 1000.0
+            cost.schedule_times_ms[schedule.name] = runtime.wall_ms
+            cost.interp_instructions += interp.steps
+            cost.snapshots_taken += runtime.snapshots_taken
+            cost.snapshot_nodes += runtime.snapshot_nodes
+            cost.snapshot_bytes += runtime.snapshot_bytes
+            cost.verify_comparisons += runtime.verify_comparisons
+            cost.mismatches += runtime.mismatches
+            report.interp_instructions += interp.steps
+            self._absorb_runtime(report, runtime)
+        if fault:
+            return None, False
+        if mismatch:
+            return runtime, True
         return runtime, outcome_ok

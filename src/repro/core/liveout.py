@@ -37,6 +37,16 @@ class Snapshot:
     def size(self) -> int:
         return len(self.objects)
 
+    def approx_bytes(self) -> int:
+        """Rough serialized size: 8 bytes per value slot + 16 per object
+        header.  Used for observability cost accounting, not for equality.
+        """
+        total = 8 * len(self.roots)
+        for obj in self.objects:
+            values = obj[2] if obj[0] == "struct" else obj[1]
+            total += 16 + 8 * len(values)
+        return total
+
 
 def capture(roots: Sequence[object]) -> Snapshot:
     """Snapshot ``roots`` (runtime values) and everything reachable."""

@@ -27,6 +27,49 @@ DECIDED_DYNAMIC = "dynamic"  # permutation testing
 
 
 @dataclass
+class LoopCost:
+    """Measured cost of deciding one loop (dynamic stage only).
+
+    Populated by :class:`~repro.core.dca.DcaAnalyzer` from always-on
+    counters, so the breakdown is available even when ``repro.obs`` is
+    disabled.  ``interp_instructions`` counts whole-program instructions
+    retired by this loop's schedule executions (the test variant re-runs
+    the entire program per schedule, which is exactly the cost the paper's
+    dynamic stage pays).
+    """
+
+    schedule_executions: int = 0
+    interp_instructions: int = 0
+    snapshots_taken: int = 0
+    snapshot_nodes: int = 0
+    snapshot_bytes: int = 0
+    verify_comparisons: int = 0
+    mismatches: int = 0
+    #: schedule name -> wall milliseconds for that execution.
+    schedule_times_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(self.schedule_times_ms.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schedule_executions": self.schedule_executions,
+            "interp_instructions": self.interp_instructions,
+            "snapshots_taken": self.snapshots_taken,
+            "snapshot_nodes": self.snapshot_nodes,
+            "snapshot_bytes": self.snapshot_bytes,
+            "verify_comparisons": self.verify_comparisons,
+            "mismatches": self.mismatches,
+            "schedule_times_ms": {
+                name: round(ms, 3)
+                for name, ms in self.schedule_times_ms.items()
+            },
+            "total_time_ms": round(self.total_time_ms, 3),
+        }
+
+
+@dataclass
 class LoopResult:
     """DCA's verdict for one source loop."""
 
@@ -46,6 +89,8 @@ class LoopResult:
     static_verdict: Optional[str] = None
     #: Evidence chain backing the static verdict (rendered strings).
     static_evidence: List[str] = field(default_factory=list)
+    #: Dynamic-stage cost breakdown for this loop.
+    cost: LoopCost = field(default_factory=LoopCost)
 
     @property
     def is_commutative(self) -> bool:
@@ -71,6 +116,7 @@ class LoopResult:
             "static_verdict": self.static_verdict,
             "static_evidence": list(self.static_evidence),
             "is_commutative": self.is_commutative,
+            "cost": self.cost.to_dict(),
         }
 
     def __str__(self) -> str:
@@ -90,6 +136,23 @@ class DcaReport:
     schedule_executions: int = 0
     #: Whether the static pre-screen ran for this report.
     static_filter: bool = False
+    #: Wall milliseconds per pipeline stage (selection/profile/static/
+    #: golden/dynamic), measured by the analyzer's injectable clock.
+    stage_times_ms: Dict[str, float] = field(default_factory=dict)
+    #: Interpreter instructions retired across all executions.
+    interp_instructions: int = 0
+    #: Live-out snapshot totals across all executions.
+    snapshots_taken: int = 0
+    snapshot_nodes: int = 0
+    snapshot_bytes: int = 0
+    #: Online live-out comparisons performed / failed.
+    verify_comparisons: int = 0
+    mismatches: int = 0
+    #: Schedule executions the static pre-screen avoided: each statically
+    #: decided loop skips its full permutation budget (identity + every
+    #: perturbing schedule) — an upper bound on the realized saving, since
+    #: a non-commutative loop would have short-circuited on first failure.
+    static_schedules_saved: int = 0
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]
@@ -122,6 +185,24 @@ class DcaReport:
         hits = sum(1 for r in tested if r.decided_by == DECIDED_STATIC)
         return hits, len(tested)
 
+    def metrics_dict(self) -> Dict[str, object]:
+        """The report's cost/metrics section (machine-readable)."""
+        return {
+            "executions": self.executions,
+            "schedule_executions": self.schedule_executions,
+            "schedule_executions_saved_static": self.static_schedules_saved,
+            "interp_instructions": self.interp_instructions,
+            "snapshots_taken": self.snapshots_taken,
+            "snapshot_nodes": self.snapshot_nodes,
+            "snapshot_bytes": self.snapshot_bytes,
+            "verify_comparisons": self.verify_comparisons,
+            "mismatches": self.mismatches,
+            "stage_times_ms": {
+                name: round(ms, 3)
+                for name, ms in self.stage_times_ms.items()
+            },
+        }
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "entry": self.entry,
@@ -130,6 +211,7 @@ class DcaReport:
             "static_filter": self.static_filter,
             "verdict_counts": self.verdict_counts(),
             "decided_by": self.decided_by_counts(),
+            "metrics": self.metrics_dict(),
             "loops": {
                 label: self.results[label].to_dict()
                 for label in sorted(self.results)
@@ -143,4 +225,41 @@ class DcaReport:
         lines = [f"DCA report (entry={self.entry}, {self.executions} executions)"]
         for label in sorted(self.results):
             lines.append(f"  {self.results[label]}")
+        return "\n".join(lines)
+
+    def cost_summary(self) -> str:
+        """One-paragraph pipeline cost overview for text output."""
+        stages = " | ".join(
+            f"{name} {ms:.1f}ms" for name, ms in self.stage_times_ms.items()
+        )
+        lines = [
+            f"pipeline cost: {self.executions} executions, "
+            f"{self.interp_instructions} interpreted instructions, "
+            f"{self.snapshots_taken} snapshots "
+            f"({self.snapshot_bytes / 1024.0:.1f} KiB, "
+            f"{self.snapshot_nodes} heap nodes), "
+            f"{self.verify_comparisons} live-out comparisons"
+        ]
+        if stages:
+            lines.append(f"stages: {stages}")
+        return "\n".join(lines)
+
+    def cost_table(self) -> str:
+        """Per-loop cost breakdown table (dynamically tested loops)."""
+        header = (
+            f"{'loop':16s}{'decided':>10s}{'scheds':>8s}{'instrs':>12s}"
+            f"{'snaps':>7s}{'bytes':>10s}{'time_ms':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for label in sorted(self.results):
+            result = self.results[label]
+            cost = result.cost
+            lines.append(
+                f"{label:16s}{result.decided_by:>10s}"
+                f"{cost.schedule_executions:>8d}"
+                f"{cost.interp_instructions:>12d}"
+                f"{cost.snapshots_taken:>7d}"
+                f"{cost.snapshot_bytes:>10d}"
+                f"{cost.total_time_ms:>9.2f}"
+            )
         return "\n".join(lines)

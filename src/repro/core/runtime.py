@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.core.instrument import (
     RT_GET,
     RT_NEXT,
@@ -88,6 +89,18 @@ class DcaRuntime(RuntimeHooks):
         self.violations: List[Violation] = []
         self._active: Dict[str, List[_Invocation]] = {}
 
+        #: Always-on cost counters (plain ints — consumed by the report's
+        #: per-loop cost breakdowns even with observability disabled).
+        self.snapshots_taken = 0
+        self.snapshot_nodes = 0
+        self.snapshot_bytes = 0
+        self.verify_comparisons = 0
+        self.mismatches = 0
+        #: Wall time of the execution this runtime accompanied, assigned
+        #: by whichever driver timed it (``DcaAnalyzer._run_schedule``).
+        self.wall_ms = 0.0
+        self._obs = obs.current()
+
     # -- intrinsic dispatch -----------------------------------------------------
 
     def handle_intrinsic(
@@ -119,6 +132,8 @@ class DcaRuntime(RuntimeHooks):
         if not stack or stack[-1].phase != "recording":
             stack.append(_Invocation())
         stack[-1].buffer.append(values)
+        if self._obs.enabled:
+            self._obs.metrics.counter("dca.iterations_recorded").inc()
 
     def _permute(self, label: str) -> None:
         if self.schedule is None:
@@ -130,6 +145,11 @@ class DcaRuntime(RuntimeHooks):
         inv.phase = "iterating"
         inv.order = self.schedule.permutation(len(inv.buffer))
         inv.pos = -1
+        if self._obs.enabled:
+            self._obs.metrics.counter("dca.permutes").inc()
+            self._obs.metrics.histogram("dca.permute.len").observe(
+                len(inv.buffer)
+            )
 
     def _top(self, label: str) -> _Invocation:
         stack = self._stack(label)
@@ -163,16 +183,41 @@ class DcaRuntime(RuntimeHooks):
         for gname in spec.scalar_globals:
             roots.append(interp.globals[gname])
         snap = capture(roots)
+        self.snapshots_taken += 1
+        self.snapshot_nodes += snap.size()
+        self.snapshot_bytes += snap.approx_bytes()
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("dca.snapshots").inc()
+            metrics.histogram("dca.snapshot.nodes").observe(snap.size())
+            metrics.histogram("dca.snapshot.bytes").observe(snap.approx_bytes())
         done = self.snapshots.setdefault(label, [])
         index = len(done)
         done.append(snap)
         if self.golden is not None:
+            self.verify_comparisons += 1
+            if self._obs.enabled:
+                self._obs.metrics.counter("dca.verify.comparisons").inc()
             reference = self.golden.get(label, [])
             ok = index < len(reference) and snapshots_equal(
                 reference[index], snap, rtol=self.rtol
             )
             if not ok:
+                # All bookkeeping for the completed snapshot happens
+                # before the fail-fast abort: a mismatch must not lose
+                # the comparison/snapshot cost it just paid.
+                self.mismatches += 1
                 self.violations.append(Violation(label, index))
+                if self._obs.enabled:
+                    self._obs.metrics.counter("dca.verify.mismatches").inc()
+                    self._obs.event(
+                        "warning",
+                        "mismatch",
+                        f"live-out mismatch for {label} (invocation {index})",
+                        provenance="dynamic",
+                        loop=label,
+                        invocation=index,
+                    )
                 if self.fail_fast:
                     raise CommutativityMismatch(label, index)
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import repro.obs as obs
+
 from repro.lang.checker import check
 from repro.lang.parser import parse
 from repro.ir.function import Module
@@ -48,3 +50,45 @@ def run_program(
     interp = Interpreter(module, max_steps=max_steps)
     result = interp.run(entry, args or [])
     return result, interp.output_text()
+
+
+def profile_program(
+    source_or_module,
+    entry: str = "main",
+    args: Optional[List[object]] = None,
+    rtol: float = 1e-9,
+    liveout_policy: str = "strict",
+    static_filter: bool = True,
+    max_steps: Optional[int] = None,
+):
+    """Run the full DCA pipeline with observability enabled.
+
+    Returns ``(report, obs_context)``: the :class:`~repro.core.report.DcaReport`
+    with per-loop cost breakdowns, and the enabled
+    :class:`~repro.obs.ObsContext` holding the span trace (exportable as
+    Chrome trace JSON), the metrics registry, and the event log.
+
+    If the process-local observability context is not already enabled, a
+    fresh enabled context is installed; the caller owns disabling it.
+    """
+    from repro.core import DcaAnalyzer
+
+    ctx = obs.current()
+    if not ctx.enabled:
+        ctx = obs.enable()
+    if isinstance(source_or_module, Module):
+        module = source_or_module
+    else:
+        with ctx.span("repro.compile"):
+            module = compile_program(source_or_module)
+    analyzer = DcaAnalyzer(
+        module,
+        entry=entry,
+        args=args,
+        rtol=rtol,
+        liveout_policy=liveout_policy,
+        static_filter=static_filter,
+        max_steps=max_steps,
+    )
+    report = analyzer.analyze()
+    return report, ctx

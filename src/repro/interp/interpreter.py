@@ -10,7 +10,13 @@ Executes a :class:`repro.ir.function.Module` with:
 * an optional *runtime* object that receives ``Intrinsic`` calls — this is
   how the DCA runtime library (paper Fig. 3) plugs in;
 * an optional profiler hook that attributes executed instructions to the
-  dynamic loop stack.
+  dynamic loop stack;
+* cheap observability hooks (``repro.obs``): when the process-local
+  observability context is enabled, the interpreter tallies intrinsic
+  calls per name and flushes instructions-retired counters to the metrics
+  registry when the run finishes (even on a faulting run).  When the
+  context is disabled — the default — the hooks reduce to one boolean
+  check per intrinsic and per run.
 
 One ``Interpreter`` instance corresponds to one execution of the program.
 """
@@ -20,6 +26,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs_mod
 from repro.analysis.loops import build_loop_forest
 from repro.interp.events import LoopCtx, Observer
 from repro.interp.values import (
@@ -108,6 +115,12 @@ class Interpreter:
         self.profiler = profiler
         self.max_steps = max_steps or _DEFAULT_MAX_STEPS
         self.steps = 0
+        self.obs = obs_mod.current()
+        self._obs_enabled = self.obs.enabled
+        #: Per-name intrinsic call tallies; populated only when the
+        #: observability context is enabled.
+        self.intrinsic_counts: Dict[str, int] = {}
+        self._flushed_steps = 0
         self.output: List[str] = []
         self.loop_stack: List[LoopCtx] = []
         #: Stack of `Call` instructions currently executing (for access
@@ -150,7 +163,24 @@ class Interpreter:
     def run(self, entry: str = "main", args: Optional[List[object]] = None) -> object:
         if entry not in self.module.functions:
             raise MiniCRuntimeError(f"no function named {entry!r}")
-        return self._call_function(entry, list(args or []))
+        if not self._obs_enabled:
+            return self._call_function(entry, list(args or []))
+        try:
+            return self._call_function(entry, list(args or []))
+        finally:
+            # Flush even when the run raises (mismatch abort, runtime
+            # fault): partial executions still cost instructions.
+            self._flush_obs()
+
+    def _flush_obs(self) -> None:
+        """Publish instruction/intrinsic tallies to the metrics registry."""
+        metrics = self.obs.metrics
+        metrics.counter("interp.runs").inc()
+        metrics.counter("interp.instructions").inc(self.steps - self._flushed_steps)
+        self._flushed_steps = self.steps
+        for name, count in self.intrinsic_counts.items():
+            metrics.counter(f"interp.intrinsic.{name}").inc(count)
+        self.intrinsic_counts = {}
 
     def output_text(self) -> str:
         if not self.output:
@@ -456,6 +486,10 @@ class Interpreter:
             frame[instr.dest] = result
 
     def _exec_intrinsic(self, instr: Intrinsic, frame: Dict[Reg, object]) -> None:
+        if self._obs_enabled:
+            self.intrinsic_counts[instr.func] = (
+                self.intrinsic_counts.get(instr.func, 0) + 1
+            )
         args = [self._value(a, frame) for a in instr.args]
         if self.runtime is None:
             raise MiniCRuntimeError(

@@ -1,0 +1,166 @@
+"""``repro.obs`` — pipeline-wide tracing, metrics, and event logging.
+
+The observability subsystem has three pillars, all dependency-free
+(stdlib only, CI-enforced by ``tools/check_obs_stdlib.py``):
+
+* :mod:`repro.obs.tracer` — nested wall-time spans with Chrome
+  trace-event export and a text flame summary;
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms;
+* :mod:`repro.obs.events` — a structured JSONL event log whose severity
+  scale is shared with ``repro.analysis.diagnostics``.
+
+One :class:`ObsContext` bundles all three behind a single ``enabled``
+flag.  The module keeps a process-local current context, **disabled by
+default**: every instrumentation site in the pipeline guards on
+``ctx.enabled`` (or receives the shared no-op span), so a disabled
+context costs one attribute check — verified by
+``benchmarks/test_obs_overhead.py``.
+
+Typical use::
+
+    import repro.obs as obs
+
+    ctx = obs.enable()
+    report = DcaAnalyzer(module).analyze()
+    chrome_json = ctx.tracer.to_chrome_trace()
+    metrics = ctx.metrics.to_dict()
+    obs.disable()
+
+or, scoped (restores the previous context on exit)::
+
+    with obs.enabled() as ctx:
+        ...
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import SEVERITIES, Event, EventLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObsContext",
+    "SEVERITIES",
+    "SpanRecord",
+    "Tracer",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "is_enabled",
+    "reset",
+]
+
+
+class ObsContext:
+    """Tracer + metrics + events behind one ``enabled`` flag."""
+
+    __slots__ = ("enabled", "tracer", "metrics", "events")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.enabled = enabled
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(clock=clock)
+
+    # -- guarded fast-path API (no-ops when disabled) --------------------------
+
+    def span(self, name: str, **args):
+        """A nested span context manager; the shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **args)
+
+    def count(self, name: str, n=1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def event(
+        self, severity: str, kind: str, message: str, provenance: str = "", **fields
+    ) -> None:
+        if self.enabled:
+            self.events.emit(severity, kind, message, provenance=provenance, **fields)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all recorded data (isolation between runs)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        self.events.reset()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "metrics": self.metrics.to_dict(),
+            "spans": len(self.tracer.spans),
+            "events": [e.to_dict() for e in self.events.events],
+        }
+
+
+#: The process-local current context; disabled by default.
+_current = ObsContext(enabled=False)
+
+
+def current() -> ObsContext:
+    """The active observability context (disabled unless enabled)."""
+    return _current
+
+
+def is_enabled() -> bool:
+    return _current.enabled
+
+
+def enable(clock: Optional[Callable[[], float]] = None) -> ObsContext:
+    """Install (and return) a fresh enabled context."""
+    global _current
+    _current = ObsContext(enabled=True, clock=clock)
+    return _current
+
+
+def disable() -> ObsContext:
+    """Install (and return) a fresh disabled context."""
+    global _current
+    _current = ObsContext(enabled=False)
+    return _current
+
+
+def reset() -> None:
+    """Clear the current context's recorded data."""
+    _current.reset()
+
+
+@contextmanager
+def enabled(clock: Optional[Callable[[], float]] = None):
+    """Temporarily install a fresh enabled context; restores the previous
+    context on exit (for tests and scoped profiling)."""
+    global _current
+    previous = _current
+    _current = ObsContext(enabled=True, clock=clock)
+    try:
+        yield _current
+    finally:
+        _current = previous

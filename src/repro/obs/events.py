@@ -1,0 +1,118 @@
+"""Structured JSONL event log with severity and provenance.
+
+Complements spans (where did the time go) and metrics (how much work)
+with *what happened*: one :class:`Event` per noteworthy occurrence —
+a loop verdict, a mismatch, a stage decision — tagged with a severity
+from the shared scale and a provenance string naming the pipeline stage
+that produced it (``selection`` / ``static`` / ``dynamic`` / ...).
+
+The severity scale is the single source of truth for the whole system:
+``repro.analysis.diagnostics`` derives its compiler-diagnostic severities
+(warning/info/note) from this tuple, so lint diagnostics and runtime
+events sort and count consistently.
+
+Stdlib-only by design — enforced by ``tools/check_obs_stdlib.py`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SEVERITIES", "Event", "EventLog"]
+
+#: Shared severity scale, most to least severe.
+SEVERITIES = ("error", "warning", "info", "note", "debug")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass
+class Event:
+    """One structured log record."""
+
+    seq: int
+    t_ms: float
+    severity: str
+    kind: str
+    message: str
+    provenance: str = ""
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "t_ms": round(self.t_ms, 3),
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+        }
+        if self.provenance:
+            out["provenance"] = self.provenance
+        if self.fields:
+            out["fields"] = self.fields
+        return out
+
+
+class EventLog:
+    """Append-only structured log, exportable as JSON Lines."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self.events: List[Event] = []
+
+    def emit(
+        self,
+        severity: str,
+        kind: str,
+        message: str,
+        provenance: str = "",
+        **fields,
+    ) -> Event:
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        event = Event(
+            seq=len(self.events),
+            t_ms=(self._clock() - self._epoch) * 1000.0,
+            severity=severity,
+            kind=kind,
+            message=message,
+            provenance=provenance,
+            fields=fields,
+        )
+        self.events.append(event)
+        return event
+
+    def filter(
+        self,
+        severity: Optional[str] = None,
+        kind: Optional[str] = None,
+        provenance: Optional[str] = None,
+    ) -> List[Event]:
+        out = []
+        for event in self.events:
+            if severity is not None and event.severity != severity:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if provenance is not None and event.provenance != provenance:
+                continue
+            out.append(event)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out = {name: 0 for name in SEVERITIES}
+        for event in self.events:
+            out[event.severity] += 1
+        return out
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_dict()) for e in self.events)
+
+    def reset(self) -> None:
+        self.events = []
+        self._epoch = self._clock()

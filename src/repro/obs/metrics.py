@@ -1,0 +1,155 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` accompanies one observability context and is
+reset between pipeline runs.  Instruments are created on first use::
+
+    registry.counter("dca.schedule_executions").inc()
+    registry.histogram("dca.snapshot.bytes").observe(snap.approx_bytes())
+
+All three instrument kinds share one namespace; asking for an existing
+name as a different kind is a programming error and raises ``ValueError``.
+
+Stdlib-only by design — enforced by ``tools/check_obs_stdlib.py`` in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Create-on-first-use instrument registry."""
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> _Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name)
+            self._instruments[name] = inst
+        elif type(inst) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- convenience -----------------------------------------------------------
+
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str, default=0):
+        """Current value of a counter/gauge, or a histogram's count."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        if isinstance(inst, Histogram):
+            return inst.count
+        return inst.value
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument — isolation between runs."""
+        self._instruments = {}
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = inst.to_dict()
+        return out

@@ -1,0 +1,205 @@
+"""Nested-span tracer with Chrome trace-event export.
+
+A :class:`Tracer` records well-nested wall-time spans::
+
+    with tracer.span("dynamic.schedule", loop="main.L0", schedule="reverse"):
+        ...
+
+Spans nest lexically (the ``with`` statement guarantees LIFO open/close),
+so the completed records form a forest that exports directly as Chrome
+``chrome://tracing`` / Perfetto *complete* events (``ph: "X"``) and as an
+indented text flame summary.
+
+Time comes from an injectable monotonic clock (seconds as a float,
+default :func:`time.perf_counter`), which keeps every test deterministic:
+inject a fake clock and spans get exact, reproducible durations.
+
+Stdlib-only by design — enforced by ``tools/check_obs_stdlib.py`` in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["NULL_SPAN", "SpanRecord", "Tracer"]
+
+
+class SpanRecord:
+    """One completed span."""
+
+    __slots__ = ("sid", "parent", "name", "args", "path", "start_us", "dur_us", "depth")
+
+    def __init__(
+        self,
+        sid: int,
+        parent: Optional[int],
+        name: str,
+        args: Dict[str, object],
+        path: Tuple[str, ...],
+        start_us: float,
+        dur_us: float,
+        depth: int,
+    ):
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.args = args
+        #: Names of the enclosing spans plus this one, root first.
+        self.path = path
+        self.start_us = start_us
+        self.dur_us = dur_us
+        self.depth = depth
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<span {self.name!r} {self.dur_us:.1f}us depth={self.depth}>"
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled observability contexts."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager for one active span."""
+
+    __slots__ = ("_tracer", "name", "args", "_sid", "_parent", "_path", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **args) -> "_SpanHandle":
+        """Attach extra attributes while the span is open."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        self._sid = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self._parent = stack[-1][0] if stack else None
+        self._path = (stack[-1][1] if stack else ()) + (self.name,)
+        stack.append((self._sid, self._path))
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._stack.pop()
+        tracer.spans.append(
+            SpanRecord(
+                sid=self._sid,
+                parent=self._parent,
+                name=self.name,
+                args=self.args,
+                path=self._path,
+                start_us=(self._start - tracer._epoch) * 1e6,
+                dur_us=(end - self._start) * 1e6,
+                depth=len(self._path) - 1,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Records nested spans against a monotonic clock."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        #: Completed spans in completion order (children before parents).
+        self.spans: List[SpanRecord] = []
+        self._stack: List[Tuple[int, Tuple[str, ...]]] = []
+        self._next_id = 0
+
+    def span(self, name: str, **args) -> _SpanHandle:
+        """A context manager recording one nested span."""
+        return _SpanHandle(self, name, args)
+
+    def reset(self) -> None:
+        self.spans = []
+        self._stack = []
+        self._next_id = 0
+        self._epoch = self._clock()
+
+    # -- aggregation -----------------------------------------------------------
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals: ``{name: {"count": n, "total_ms": ms}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for rec in self.spans:
+            agg = out.setdefault(rec.name, {"count": 0, "total_ms": 0.0})
+            agg["count"] += 1
+            agg["total_ms"] += rec.dur_us / 1000.0
+        return out
+
+    def total_ms(self, name: str) -> float:
+        return sum(r.dur_us for r in self.spans if r.name == name) / 1000.0
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self, pid: int = 1, tid: int = 1) -> Dict[str, object]:
+        """The trace as Chrome trace-event JSON (``chrome://tracing``).
+
+        Every span becomes a *complete* event (``ph: "X"``) with ``ts`` and
+        ``dur`` in microseconds; nesting is conveyed by time containment on
+        the single thread lane, which both Chrome and Perfetto render as a
+        flame graph.
+        """
+        events = []
+        for rec in sorted(self.spans, key=lambda r: (r.start_us, -r.dur_us)):
+            events.append(
+                {
+                    "name": rec.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": rec.start_us,
+                    "dur": rec.dur_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(rec.args),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def flame_summary(self) -> str:
+        """Indented text flame view aggregated by span path."""
+        if not self.spans:
+            return "(no spans recorded)"
+        totals: Dict[Tuple[str, ...], List[float]] = {}
+        for rec in self.spans:
+            agg = totals.setdefault(rec.path, [0.0, 0])
+            agg[0] += rec.dur_us
+            agg[1] += 1
+        root_total = sum(us for path, (us, _) in totals.items() if len(path) == 1)
+        lines = []
+        for path in sorted(totals):
+            us, count = totals[path]
+            pct = (us / root_total * 100.0) if root_total else 0.0
+            indent = "  " * (len(path) - 1)
+            label = f"{indent}{path[-1]}"
+            lines.append(
+                f"{label:<40s} {us / 1000.0:10.3f} ms {int(count):7d}x {pct:6.1f}%"
+            )
+        return "\n".join(lines)

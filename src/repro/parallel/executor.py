@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.reductions import classify_loop
 from repro.interp.interpreter import Interpreter
@@ -109,7 +110,12 @@ class ParallelSimulator:
             profiler=profiler,
             max_steps=self.max_steps,
         )
-        interp.run(self.entry, self.args)
+        active = obs.current()
+        with active.span("parallel.profile", entry=self.entry):
+            interp.run(self.entry, self.args)
+        if active.enabled:
+            active.metrics.counter("parallel.profile_runs").inc()
+            active.metrics.gauge("parallel.t_seq").set(profiler.total_cost)
         self._profiler = profiler
         self._nesting = nesting
         return profiler
@@ -126,6 +132,35 @@ class ParallelSimulator:
         serial_fractions: Optional[Dict[str, float]] = None,
     ) -> SpeedupReport:
         """Simulate parallelizing (a profitable subset of) the candidates."""
+        active = obs.current()
+        with active.span(
+            "parallel.simulate", cores=self.model.cores,
+            candidates=len(candidate_labels),
+        ):
+            report = self._simulate(
+                candidate_labels,
+                min_coverage,
+                drop_unprofitable,
+                forced_labels,
+                expert_extra_fraction,
+                serial_fractions,
+            )
+        if active.enabled:
+            active.metrics.counter("parallel.loops_simulated").inc(
+                len(report.loops)
+            )
+            active.metrics.gauge("parallel.speedup").set(report.speedup)
+        return report
+
+    def _simulate(
+        self,
+        candidate_labels: Sequence[str],
+        min_coverage: float,
+        drop_unprofitable: bool,
+        forced_labels: Optional[Sequence[str]],
+        expert_extra_fraction: float,
+        serial_fractions: Optional[Dict[str, float]],
+    ) -> SpeedupReport:
         profiler = self.profile(candidate_labels)
         nesting = self._nesting
         assert nesting is not None

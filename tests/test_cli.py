@@ -67,6 +67,37 @@ def test_cli_analyze_json(program_file, capsys):
     assert payload["static_filter"] is True
 
 
+def test_cli_analyze_json_metrics_section(program_file, capsys):
+    assert main(["analyze", program_file, "--json"]) == 0
+    metrics = json.loads(capsys.readouterr().out)["metrics"]
+    assert metrics["schedule_executions"] == 0  # statically decided
+    assert metrics["interp_instructions"] > 0
+    assert metrics["snapshot_bytes"] >= 0
+    assert set(metrics["stage_times_ms"]) >= {"selection", "static", "golden"}
+    assert metrics["schedule_executions_saved_static"] > 0
+
+
+def test_cli_analyze_json_metrics_unfiltered(program_file, capsys):
+    assert main(["analyze", program_file, "--json", "--no-static-filter"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    metrics = payload["metrics"]
+    assert metrics["schedule_executions"] > 0
+    assert metrics["snapshot_bytes"] > 0
+    assert metrics["verify_comparisons"] > 0
+    loop = payload["loops"]["main.L0"]
+    assert loop["cost"]["schedule_executions"] == metrics["schedule_executions"]
+    assert loop["cost"]["interp_instructions"] > 0
+    assert loop["cost"]["schedule_times_ms"]
+
+
+def test_cli_analyze_text_shows_pipeline_cost(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline cost:" in out
+    assert "interpreted instructions" in out
+    assert "stages:" in out
+
+
 def test_cli_detect(program_file, capsys):
     assert main(["detect", program_file]) == 0
     out = capsys.readouterr().out
@@ -79,6 +110,18 @@ def test_cli_detect_json(program_file, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["dca"]["loops"]["main.L0"]["is_commutative"] is True
     assert "dep-profiling" in payload["baselines"]
+
+
+def test_cli_detect_json_has_metrics_and_costs(program_file, capsys):
+    assert main(["detect", program_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    metrics = payload["dca"]["metrics"]
+    assert metrics["interp_instructions"] > 0
+    assert "stage_times_ms" in metrics
+    costs = payload["costs"]
+    assert costs["profile"]["executions"] == 1
+    assert costs["profile"]["instructions"] > 0
+    assert "dep-profiling" in costs
 
 
 def test_cli_lint(program_file, capsys):

@@ -1,0 +1,255 @@
+"""Unit tests for the metrics registry and event log (repro.obs)."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.events import SEVERITIES, EventLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+# -- instruments ----------------------------------------------------------------
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    gauge = Gauge("g")
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+
+
+def test_histogram_summary_statistics():
+    hist = Histogram("h")
+    for value in (4, 2, 6):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.total == 12
+    assert hist.min == 2
+    assert hist.max == 6
+    assert hist.mean == pytest.approx(4.0)
+    assert hist.to_dict() == {
+        "count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4.0,
+    }
+    assert Histogram("empty").mean == 0.0
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def test_registry_create_on_first_use_is_idempotent():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    reg.inc("a", 2)
+    assert reg.value("a") == 2
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_registry_value_defaults_and_histogram_count():
+    reg = MetricsRegistry()
+    assert reg.value("missing") == 0
+    assert reg.value("missing", default=None) is None
+    reg.observe("h", 10.0)
+    reg.observe("h", 20.0)
+    assert reg.value("h") == 2  # a histogram's value is its count
+
+
+def test_registry_to_dict_partitions_by_kind():
+    reg = MetricsRegistry()
+    reg.inc("runs", 3)
+    reg.set_gauge("speedup", 2.5)
+    reg.observe("bytes", 128)
+    dump = reg.to_dict()
+    assert dump["counters"] == {"runs": 3}
+    assert dump["gauges"] == {"speedup": 2.5}
+    assert dump["histograms"]["bytes"]["count"] == 1
+    assert reg.names() == ["bytes", "runs", "speedup"]
+
+
+def test_registry_reset_drops_everything():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.set_gauge("b", 1)
+    reg.reset()
+    assert reg.names() == []
+    assert reg.value("a") == 0
+
+
+# -- event log ------------------------------------------------------------------
+
+
+def test_event_log_emits_with_timestamps_and_seq():
+    clock = FakeClock()
+    log = EventLog(clock=clock)
+    clock.tick(0.25)
+    first = log.emit("info", "verdict", "loop is commutative", provenance="static")
+    second = log.emit("warning", "mismatch", "live-out diverged", loop="main.L0")
+    assert first.seq == 0 and second.seq == 1
+    assert first.t_ms == pytest.approx(250.0)
+    assert second.fields == {"loop": "main.L0"}
+
+
+def test_event_log_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        EventLog(clock=FakeClock()).emit("fatal", "k", "m")
+
+
+def test_event_log_filter_and_counts():
+    log = EventLog(clock=FakeClock())
+    log.emit("info", "verdict", "a", provenance="static")
+    log.emit("warning", "verdict", "b", provenance="dynamic")
+    log.emit("warning", "mismatch", "c", provenance="dynamic")
+    assert len(log.filter(severity="warning")) == 2
+    assert len(log.filter(kind="verdict")) == 2
+    assert len(log.filter(provenance="dynamic", kind="mismatch")) == 1
+    counts = log.counts()
+    assert counts["warning"] == 2 and counts["info"] == 1 and counts["error"] == 0
+
+
+def test_event_log_jsonl_round_trip():
+    log = EventLog(clock=FakeClock())
+    log.emit("note", "stage", "dynamic testing required", loop="main.L1")
+    log.emit("info", "stage", "done")
+    lines = log.to_jsonl().splitlines()
+    assert len(lines) == 2
+    parsed = [json.loads(line) for line in lines]
+    assert parsed[0]["severity"] == "note"
+    assert parsed[0]["fields"] == {"loop": "main.L1"}
+    assert parsed[1]["seq"] == 1
+    assert EventLog(clock=FakeClock()).to_jsonl() == ""
+
+
+def test_event_log_reset():
+    log = EventLog(clock=FakeClock())
+    log.emit("debug", "k", "m")
+    log.reset()
+    assert log.events == []
+
+
+# -- shared severity scale ------------------------------------------------------
+
+
+def test_diagnostics_severities_subset_of_shared_scale():
+    from repro.analysis.diagnostics import SEVERITIES as DIAG_SEVERITIES
+
+    assert set(DIAG_SEVERITIES) <= set(SEVERITIES)
+    # Order is inherited from the shared scale (most severe first).
+    ranks = [SEVERITIES.index(name) for name in DIAG_SEVERITIES]
+    assert ranks == sorted(ranks)
+
+
+def test_diagnostics_mirror_into_event_log():
+    from repro.analysis.commutativity import StaticCommutativityAnalysis
+    from repro.analysis.diagnostics import DiagnosticEngine
+    from repro.driver import compile_program
+
+    module = compile_program(
+        """
+        func int main() {
+            int acc = 0;
+            for (int i = 0; i < 8; i = i + 1) {
+                acc = acc + i;
+            }
+            return acc;
+        }
+        """
+    )
+    engine = DiagnosticEngine(program="inline")
+    engine.ingest_static(StaticCommutativityAnalysis(module).analyze().values())
+    log = EventLog(clock=FakeClock())
+    emitted = engine.to_events(log, provenance="static")
+    assert emitted == len(engine.diagnostics) == len(log.events)
+    assert emitted > 0
+    for event in log.events:
+        assert event.provenance == "static"
+        assert event.severity in SEVERITIES
+        assert "loop" in event.fields and "function" in event.fields
+
+
+# -- ObsContext isolation -------------------------------------------------------
+
+
+def test_disabled_context_records_nothing():
+    ctx = obs.ObsContext(enabled=False)
+    ctx.count("c")
+    ctx.observe("h", 1.0)
+    ctx.gauge("g", 2.0)
+    ctx.event("info", "k", "m")
+    assert ctx.metrics.names() == []
+    assert ctx.events.events == []
+
+
+def test_enabled_context_records_through_guards():
+    ctx = obs.ObsContext(enabled=True)
+    ctx.count("c", 2)
+    ctx.observe("h", 3.0)
+    ctx.gauge("g", 4.0)
+    ctx.event("info", "k", "m")
+    assert ctx.metrics.value("c") == 2
+    assert ctx.metrics.value("h") == 1
+    assert ctx.metrics.value("g") == 4.0
+    assert len(ctx.events.events) == 1
+
+
+def test_fresh_registry_per_enable_isolates_runs():
+    first = obs.enable()
+    try:
+        first.count("dca.schedule_executions", 7)
+        second = obs.enable()
+        assert second.metrics.value("dca.schedule_executions") == 0
+        assert first.metrics.value("dca.schedule_executions") == 7
+    finally:
+        obs.disable()
+
+
+def test_context_reset_clears_all_pillars():
+    ctx = obs.ObsContext(enabled=True)
+    with ctx.span("s"):
+        pass
+    ctx.count("c")
+    ctx.event("info", "k", "m")
+    ctx.reset()
+    assert ctx.tracer.spans == []
+    assert ctx.metrics.names() == []
+    assert ctx.events.events == []
+
+
+def test_context_to_dict_shape():
+    ctx = obs.ObsContext(enabled=True)
+    ctx.count("c")
+    dump = ctx.to_dict()
+    assert dump["enabled"] is True
+    assert dump["metrics"]["counters"] == {"c": 1}
+    assert dump["spans"] == 0
+    assert dump["events"] == []

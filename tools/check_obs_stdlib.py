@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI guard: ``repro.obs`` must import nothing outside the stdlib.
+
+The observability subsystem is dependency-free by design so it can be
+vendored or enabled in any environment the pipeline runs in.  This
+script ast-parses every module under ``src/repro/obs`` and fails (exit
+code 1) if any import resolves to a module that is neither in
+``sys.stdlib_module_names`` nor inside ``repro.obs`` itself.  Notably,
+importing other ``repro`` packages from ``repro.obs`` is a violation:
+the dependency arrow points *into* obs, never out of it.
+
+Run from the repository root::
+
+    python tools/check_obs_stdlib.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+OBS_DIR = Path(__file__).resolve().parents[1] / "src" / "repro" / "obs"
+ALLOWED_PREFIXES = ("repro.obs",)
+
+
+def _root(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _allowed(name: str) -> bool:
+    if _root(name) in sys.stdlib_module_names:
+        return True
+    return any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in ALLOWED_PREFIXES
+    )
+
+
+def check_file(path: Path) -> list[str]:
+    violations = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import stays inside repro.obs
+                continue
+            names = [node.module] if node.module else []
+        else:
+            continue
+        for name in names:
+            if not _allowed(name):
+                violations.append(
+                    f"{path}:{node.lineno}: non-stdlib import {name!r}"
+                )
+    return violations
+
+
+def main() -> int:
+    files = sorted(OBS_DIR.glob("*.py"))
+    if not files:
+        print(f"error: no modules found under {OBS_DIR}", file=sys.stderr)
+        return 2
+    violations = []
+    for path in files:
+        violations.extend(check_file(path))
+    if violations:
+        print("repro.obs must stay stdlib-only; violations:", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} modules in repro.obs are stdlib-only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
