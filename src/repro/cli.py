@@ -12,7 +12,9 @@ Usage::
 Options: ``--entry NAME`` (default main), ``--rtol X``, ``--policy
 strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze),
 ``--json`` (machine-readable reports), ``--no-static-filter`` (disable
-the static pre-screen and run every loop dynamically).
+the static pre-screen and run every loop dynamically), ``--backend
+serial|process`` / ``--jobs N`` (fan schedule executions out to worker
+processes; ``--jobs N`` alone implies the process backend).
 
 Observability: ``profile`` runs with full tracing and accepts ``--trace
 out.json`` (Chrome trace-event JSON for ``chrome://tracing``),
@@ -102,6 +104,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             rtol=args.rtol,
             liveout_policy=args.policy,
             static_filter=not args.no_static_filter,
+            backend=args.backend,
+            jobs=args.jobs,
         )
         report = analyzer.analyze()
     finally:
@@ -151,6 +155,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
             entry=args.entry,
             rtol=args.rtol,
             static_filter=not args.no_static_filter,
+            backend=args.backend,
+            jobs=args.jobs,
         ).analyze()
         ctx = build_context(compile_program(source), entry=args.entry)
         detectors = [
@@ -227,6 +233,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             rtol=args.rtol,
             liveout_policy=args.policy,
             static_filter=not args.no_static_filter,
+            backend=args.backend,
+            jobs=args.jobs,
         )
         print(f"== pipeline profile: {args.program} ==")
         print(report.cost_summary())
@@ -285,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("program", help="MiniC source file")
         p.add_argument("--entry", default="main")
 
+    def engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=("serial", "process"), default=None,
+                       help="schedule-execution backend (default: serial, or "
+                            "REPRO_SCHEDULE_BACKEND; --jobs N implies process)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the process backend "
+                            "(default: all cores, or REPRO_SCHEDULE_JOBS)")
+
     p_run = sub.add_parser("run", help="compile and execute a program")
     common(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -307,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="include the per-loop cost breakdown table")
     p_an.add_argument("--trace", metavar="FILE",
                       help="enable tracing; write Chrome trace-event JSON")
+    engine_flags(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
@@ -320,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include per-detector and per-loop cost detail")
     p_det.add_argument("--trace", metavar="FILE",
                        help="enable tracing; write Chrome trace-event JSON")
+    engine_flags(p_det)
     p_det.set_defaults(func=cmd_detect)
 
     p_prof = sub.add_parser(
@@ -339,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the metrics registry as JSON")
     p_prof.add_argument("--events", metavar="FILE",
                         help="write the structured event log as JSONL")
+    engine_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_lint = sub.add_parser(

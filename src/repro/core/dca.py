@@ -24,9 +24,10 @@
 
 from __future__ import annotations
 
+import pickle
 import time
-from contextlib import contextmanager
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager, nullcontext
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.analysis.commutativity import (
@@ -36,7 +37,7 @@ from repro.analysis.commutativity import (
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.purity import EffectAnalysis
-from repro.core.liveout import capture, snapshots_equal
+from repro.core.liveout import capture
 from repro.core.instrument import (
     VerifySpec,
     build_observe_module,
@@ -59,13 +60,20 @@ from repro.core.report import (
     SPLIT_MISMATCH,
     UNTESTABLE,
     DcaReport,
-    LoopCost,
     LoopResult,
 )
-from repro.core.runtime import CommutativityMismatch, DcaRuntime
-from repro.core.schedules import IdentitySchedule, Schedule, ScheduleConfig
+from repro.core.runtime import DcaRuntime
+from repro.core.schedule_engine import (
+    CANCELLED,
+    LoopPlan,
+    ScheduleEngine,
+    ScheduleOutcome,
+    ScheduleTask,
+    create_engine,
+    outcome_fails,
+)
+from repro.core.schedules import IdentitySchedule, ScheduleConfig
 from repro.interp.interpreter import Interpreter
-from repro.interp.values import MiniCRuntimeError
 from repro.ir.function import Module
 
 
@@ -84,6 +92,10 @@ class DcaAnalyzer:
         liveout_policy: str = "strict",
         static_filter: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
+        engine: Optional[ScheduleEngine] = None,
+        fault_injection: Optional[Dict[Tuple[str, str], str]] = None,
     ):
         self.module = module
         self.entry = entry
@@ -111,7 +123,20 @@ class DcaAnalyzer:
         #: label -> highest trip count seen in the profiling run.
         self._profiled_trips: Dict[str, int] = {}
         #: Injectable monotonic clock (seconds) for stage/schedule timing.
+        #: Injecting a clock also zeroes worker-side timing, making the
+        #: full report byte-identical across schedule backends.
         self._clock = clock or time.perf_counter
+        self._measure_time = clock is None
+        #: Schedule-execution backend (serial in-process by default; see
+        #: :mod:`repro.core.schedule_engine` for the process backend and
+        #: the ``REPRO_SCHEDULE_BACKEND`` / ``REPRO_SCHEDULE_JOBS``
+        #: environment fallbacks).
+        self._engine = engine or create_engine(backend, jobs, clock=clock)
+        #: Testing hook: ``{(loop label, schedule name): fault style}``
+        #: fires the named fault inside that schedule's execution.
+        self.fault_injection = dict(fault_injection or {})
+        #: Chrome-trace lane per worker pid (assigned in merge order).
+        self._lane_by_pid: Dict[int, int] = {}
         #: Observability context; re-resolved at the start of ``analyze``.
         self._obs = obs.current()
 
@@ -283,7 +308,10 @@ class DcaAnalyzer:
             self._test_step_budget = self.max_steps
 
         with self._stage(report, "dynamic"):
+            report.backend = self._engine.name
+            report.jobs = self._engine.jobs
             n_schedules = 1 + len(self.schedules.testing_schedules())
+            plans: List[LoopPlan] = []
             for label in testable:
                 result = report.results[label]
                 result.invocations = self._golden_counts[label]
@@ -295,8 +323,17 @@ class DcaAnalyzer:
                     report.static_schedules_saved += n_schedules
                     continue
                 result.decided_by = DECIDED_DYNAMIC
-                with self._obs.span("dca.loop", loop=label):
-                    self._test_loop(label, specs[label], golden, result, report)
+                plan = self._plan_loop(label, specs[label], golden, result, report)
+                if plan is not None:
+                    plans.append(plan)
+            outcomes = self._engine.run(plans)
+            for plan in plans:
+                self._merge_loop(
+                    plan,
+                    outcomes[plan.label],
+                    report.results[plan.label],
+                    report,
+                )
 
     def _apply_static_verdict(self, label: str, result: LoopResult) -> bool:
         """Resolve a loop from its static proof, skipping permutation
@@ -329,14 +366,26 @@ class DcaAnalyzer:
 
     # -- per-loop testing ----------------------------------------------------------
 
-    def _test_loop(
+    def _skip_schedules(self, report: DcaReport, reason: str, n: int) -> None:
+        if n > 0:
+            report.schedules_skipped[reason] = (
+                report.schedules_skipped.get(reason, 0) + n
+            )
+
+    def _plan_loop(
         self,
         label: str,
         spec: VerifySpec,
         golden: Dict[str, List],
         result: LoopResult,
         report: DcaReport,
-    ) -> None:
+    ) -> Optional[LoopPlan]:
+        """Build the loop's schedule work units (identity first).
+
+        Returns ``None`` when the loop cannot be outlined — the verdict
+        is final and no executions are planned.
+        """
+        n_schedules = 1 + len(self.schedules.testing_schedules())
         try:
             instrumented = build_test_module(
                 self.module,
@@ -350,137 +399,166 @@ class DcaAnalyzer:
             else:
                 result.verdict = UNTESTABLE
             result.reason = exc.reason
-            return
+            self._skip_schedules(report, "untestable", n_schedules)
+            return None
 
-        # Identity first: checks that the record/dispatch split preserves
-        # the original semantics for this loop.
-        identity_rt, identity_ok = self._run_schedule(
-            instrumented.module, IdentitySchedule(), spec, golden, report,
-            result.cost,
-        )
-        if identity_rt is None or identity_rt.violations or not identity_ok:
-            result.verdict = SPLIT_MISMATCH
-            result.reason = "identity replay diverged from golden reference"
-            result.schedules_tested.append("identity")
-            result.failed_schedule = "identity"
-            return
-        if identity_rt.invocation_count(label) != self._golden_counts[label]:
-            result.verdict = SPLIT_MISMATCH
-            result.reason = "identity replay changed the invocation count"
-            result.failed_schedule = "identity"
-            return
-        result.schedules_tested.append("identity")
-        result.max_trip = identity_rt.max_trip_count(label)
-
-        if result.max_trip < 2:
-            result.verdict = COMMUTATIVE_VACUOUS
-            result.reason = "no invocation reached 2 iterations"
-            return
-
-        for schedule in self.schedules.testing_schedules():
-            runtime, outcome_ok = self._run_schedule(
-                instrumented.module, schedule, spec, golden, report,
-                result.cost,
-            )
-            result.schedules_tested.append(schedule.name)
-            if runtime is None:
-                result.verdict = RUNTIME_FAULT
-                result.reason = f"fault under schedule {schedule.name}"
-                result.failed_schedule = schedule.name
-                return
-            if runtime.violations or not outcome_ok:
-                result.verdict = NON_COMMUTATIVE
-                result.reason = f"live-outs changed under {schedule.name}"
-                result.failed_schedule = schedule.name
-                return
-            if runtime.invocation_count(label) != self._golden_counts[label]:
-                result.verdict = NON_COMMUTATIVE
-                result.reason = f"invocation count changed under {schedule.name}"
-                result.failed_schedule = schedule.name
-                return
-        result.verdict = COMMUTATIVE
-
-    def _run_schedule(
-        self,
-        module: Module,
-        schedule: Schedule,
-        spec: VerifySpec,
-        golden: Dict[str, List],
-        report: DcaReport,
-        cost: LoopCost,
-    ):
-        """Run one test execution.
-
-        Returns ``(runtime, outcome_ok)``; ``(None, False)`` on a fault.
-        Under the strict policy, ``rt_verify`` compares loop live-outs
-        online; under the eventual policy only the final program outcome is
-        compared.  Cost bookkeeping (wall time, instructions, snapshot
-        sizes) lands in ``cost`` and the report totals on every path,
-        including mismatch aborts and runtime faults.
-        """
         strict = self.liveout_policy == "strict"
-        runtime = DcaRuntime(
-            specs={spec.label: spec},
-            schedule=schedule,
-            golden=golden if strict else None,
-            rtol=self.rtol,
-            fail_fast=True,
-            capture_snapshots=strict,
+        #: One pickle shared by every task of this loop; each execution
+        #: rehydrates a private module copy.
+        module_blob = pickle.dumps(instrumented.module)
+        global_names = sorted(self.module.globals)
+        plan = LoopPlan(
+            label=label, expected_invocations=self._golden_counts[label]
         )
-        interp = Interpreter(
-            module,
-            runtime=runtime,
-            max_steps=getattr(self, "_test_step_budget", self.max_steps),
+        schedules = [IdentitySchedule()] + list(
+            self.schedules.testing_schedules()
         )
+        for index, schedule in enumerate(schedules):
+            plan.tasks.append(
+                ScheduleTask(
+                    label=label,
+                    index=index,
+                    entry=self.entry,
+                    args=list(self.args),
+                    schedule=schedule,
+                    spec=spec,
+                    module_blob=module_blob,
+                    global_names=global_names,
+                    golden=list(golden.get(label, [])) if strict else None,
+                    golden_outcome=None if strict else self._golden_outcome,
+                    liveout_policy=self.liveout_policy,
+                    rtol=self.rtol,
+                    max_steps=getattr(
+                        self, "_test_step_budget", self.max_steps
+                    ),
+                    measure_time=self._measure_time,
+                    obs_enabled=self._obs.enabled,
+                    inject_fault=self.fault_injection.get(
+                        (label, schedule.name)
+                    ),
+                )
+            )
+        return plan
+
+    def _consume_outcome(
+        self, outcome: ScheduleOutcome, result: LoopResult, report: DcaReport
+    ) -> None:
+        """Fold one consumed execution into the loop/report accounting.
+
+        Only *consumed* outcomes count: the process backend may have
+        speculatively executed schedules past a loop's first failure,
+        and those must not perturb counters relative to the serial
+        backend's short-circuit.
+        """
+        cost = result.cost
         report.executions += 1
         report.schedule_executions += 1
         cost.schedule_executions += 1
         self._obs.count("dca.schedule_executions")
-        mismatch = False
-        fault = False
-        outcome_ok = True
-        start = self._clock()
-        try:
-            with self._obs.span(
-                "dca.schedule", loop=spec.label, schedule=schedule.name
-            ) as sp:
-                try:
-                    entry_result = interp.run(self.entry, self.args)
-                except CommutativityMismatch:
-                    mismatch = True  # recorded in runtime.violations
-                except MiniCRuntimeError:
-                    fault = True
-                else:
-                    if not strict:
-                        outcome = self._program_outcome(interp, entry_result)
-                        golden_out, golden_ret, golden_globals = (
-                            self._golden_outcome
-                        )
-                        outcome_ok = (
-                            outcome[0] == golden_out
-                            and outcome[1] == golden_ret
-                            and snapshots_equal(
-                                golden_globals, outcome[2], rtol=self.rtol
-                            )
-                        )
-                sp.set(
-                    instructions=interp.steps,
-                    mismatch=mismatch,
-                    fault=fault,
-                )
-        finally:
-            runtime.wall_ms = (self._clock() - start) * 1000.0
-            cost.schedule_times_ms[schedule.name] = runtime.wall_ms
-            cost.interp_instructions += interp.steps
-            cost.snapshots_taken += runtime.snapshots_taken
-            cost.snapshot_nodes += runtime.snapshot_nodes
-            cost.snapshot_bytes += runtime.snapshot_bytes
-            cost.verify_comparisons += runtime.verify_comparisons
-            cost.mismatches += runtime.mismatches
-            report.interp_instructions += interp.steps
-            self._absorb_runtime(report, runtime)
-        if fault:
-            return None, False
-        if mismatch:
-            return runtime, True
-        return runtime, outcome_ok
+        cost.schedule_times_ms[outcome.schedule_name] = outcome.wall_ms
+        cost.schedule_cpu_times_ms[outcome.schedule_name] = outcome.cpu_ms
+        cost.interp_instructions += outcome.steps
+        cost.snapshots_taken += outcome.snapshots_taken
+        cost.snapshot_nodes += outcome.snapshot_nodes
+        cost.snapshot_bytes += outcome.snapshot_bytes
+        cost.verify_comparisons += outcome.verify_comparisons
+        cost.mismatches += outcome.mismatches
+        report.interp_instructions += outcome.steps
+        report.snapshots_taken += outcome.snapshots_taken
+        report.snapshot_nodes += outcome.snapshot_nodes
+        report.snapshot_bytes += outcome.snapshot_bytes
+        report.verify_comparisons += outcome.verify_comparisons
+        report.mismatches += outcome.mismatches
+        if outcome.snapshot_digest:
+            result.schedule_digests[outcome.schedule_name] = (
+                outcome.snapshot_digest
+            )
+        if outcome.mismatch_report and result.mismatch_detail is None:
+            result.mismatch_detail = dict(outcome.mismatch_report)
+        if outcome.obs is not None:
+            pid = outcome.obs.get("pid")
+            lane = self._lane_by_pid.setdefault(pid, len(self._lane_by_pid) + 1)
+            self._obs.absorb(outcome.obs, lane=lane)
+
+    def _merge_loop(
+        self,
+        plan: LoopPlan,
+        outcomes: List[ScheduleOutcome],
+        result: LoopResult,
+        report: DcaReport,
+    ) -> None:
+        """Derive the loop's verdict from its outcomes, in task order.
+
+        Replicates the sequential decision procedure exactly — identity
+        gate, vacuous check, first-failure short-circuit — regardless of
+        how many schedules the backend actually executed.
+        """
+        label = plan.label
+        expected = plan.expected_invocations
+        n_testing = len(plan.tasks) - 1
+
+        def loop_span():
+            # The serial engine already nested live dca.schedule spans
+            # inside its own dca.loop span; engines that execute
+            # elsewhere get the loop span at merge time, with worker
+            # spans absorbed inside it.
+            if self._engine.emits_loop_spans:
+                return nullcontext()
+            return self._obs.span("dca.loop", loop=label)
+
+        with loop_span():
+            identity = outcomes[0]
+            self._consume_outcome(identity, result, report)
+            identity_faulted = identity.status not in ("ok", "mismatch")
+            if identity_faulted or identity.violations or not identity.outcome_ok:
+                result.verdict = SPLIT_MISMATCH
+                result.reason = "identity replay diverged from golden reference"
+                result.schedules_tested.append("identity")
+                result.failed_schedule = "identity"
+                self._skip_schedules(report, "short-circuit", n_testing)
+                return
+            if identity.invocation_count != expected:
+                result.verdict = SPLIT_MISMATCH
+                result.reason = "identity replay changed the invocation count"
+                result.failed_schedule = "identity"
+                self._skip_schedules(report, "short-circuit", n_testing)
+                return
+            result.schedules_tested.append("identity")
+            result.max_trip = identity.max_trip
+
+            if result.max_trip < 2:
+                result.verdict = COMMUTATIVE_VACUOUS
+                result.reason = "no invocation reached 2 iterations"
+                self._skip_schedules(report, "vacuous", n_testing)
+                return
+
+            for i in range(1, len(plan.tasks)):
+                outcome = outcomes[i]
+                if outcome.status == CANCELLED:
+                    # The engine violated its contract (every task up to
+                    # the first failure must execute); treat as a fault
+                    # rather than mislabel the loop commutative.
+                    outcome.status = "fault"
+                    outcome.error = "schedule was never executed"
+                name = outcome.schedule_name
+                self._consume_outcome(outcome, result, report)
+                result.schedules_tested.append(name)
+                if outcome.status not in ("ok", "mismatch"):
+                    result.verdict = RUNTIME_FAULT
+                    result.reason = f"fault under schedule {name}"
+                    result.failed_schedule = name
+                    self._skip_schedules(report, "short-circuit", n_testing - i)
+                    return
+                if outcome.violations or not outcome.outcome_ok:
+                    result.verdict = NON_COMMUTATIVE
+                    result.reason = f"live-outs changed under {name}"
+                    result.failed_schedule = name
+                    self._skip_schedules(report, "short-circuit", n_testing - i)
+                    return
+                if outcome.invocation_count != expected:
+                    result.verdict = NON_COMMUTATIVE
+                    result.reason = f"invocation count changed under {name}"
+                    result.failed_schedule = name
+                    self._skip_schedules(report, "short-circuit", n_testing - i)
+                    return
+            result.verdict = COMMUTATIVE

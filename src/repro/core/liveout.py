@@ -14,6 +14,7 @@ same reason the NPB verification routines use epsilon checks.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -79,6 +80,23 @@ def capture(roots: Sequence[object]) -> Snapshot:
             described.append(("array", elems))
         i += 1
     return Snapshot(roots=root_vals, objects=tuple(described))
+
+
+def snapshot_digest(snapshot: Snapshot) -> str:
+    """Content hash (sha256 hex) of one canonical snapshot.
+
+    Snapshots are already canonical (deterministic DFS renumbering), and
+    their payload is tuples of scalars whose ``repr`` is stable, so the
+    digest identifies the snapshot's *content* across processes.  Equal
+    digests imply equal content; note the converse is weaker than
+    :func:`snapshots_equal`, which tolerates float roundoff — digests are
+    for cheap cross-process identity checks and mismatch reports, never a
+    substitute for the rtol comparison.
+    """
+    h = hashlib.sha256()
+    h.update(repr(snapshot.roots).encode("utf-8"))
+    h.update(repr(snapshot.objects).encode("utf-8"))
+    return h.hexdigest()
 
 
 def _values_equal(a: SnapValue, b: SnapValue, rtol: float) -> bool:

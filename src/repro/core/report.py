@@ -45,12 +45,24 @@ class LoopCost:
     snapshot_bytes: int = 0
     verify_comparisons: int = 0
     mismatches: int = 0
-    #: schedule name -> wall milliseconds for that execution.
+    #: schedule name -> wall milliseconds for that execution.  Under the
+    #: process backend this is the worker-measured wall time, so the
+    #: per-loop totals stay meaningful while the coordinator overlaps
+    #: executions.
     schedule_times_ms: Dict[str, float] = field(default_factory=dict)
+    #: schedule name -> CPU milliseconds for that execution (process
+    #: time of whichever process ran it).  Comparing the wall and CPU
+    #: columns shows where parallel workers spent real compute versus
+    #: waiting.
+    schedule_cpu_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_time_ms(self) -> float:
         return sum(self.schedule_times_ms.values())
+
+    @property
+    def total_cpu_time_ms(self) -> float:
+        return sum(self.schedule_cpu_times_ms.values())
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -65,7 +77,12 @@ class LoopCost:
                 name: round(ms, 3)
                 for name, ms in self.schedule_times_ms.items()
             },
+            "schedule_cpu_times_ms": {
+                name: round(ms, 3)
+                for name, ms in self.schedule_cpu_times_ms.items()
+            },
             "total_time_ms": round(self.total_time_ms, 3),
+            "total_cpu_time_ms": round(self.total_cpu_time_ms, 3),
         }
 
 
@@ -89,6 +106,12 @@ class LoopResult:
     static_verdict: Optional[str] = None
     #: Evidence chain backing the static verdict (rendered strings).
     static_evidence: List[str] = field(default_factory=list)
+    #: schedule name -> content digest of the live-out snapshots that
+    #: execution captured (strict policy; empty string under eventual).
+    schedule_digests: Dict[str, str] = field(default_factory=dict)
+    #: Compact description of the first live-out divergence (loop,
+    #: invocation, expected/actual digests) when a schedule mismatched.
+    mismatch_detail: Optional[Dict[str, object]] = None
     #: Dynamic-stage cost breakdown for this loop.
     cost: LoopCost = field(default_factory=LoopCost)
 
@@ -115,6 +138,8 @@ class LoopResult:
             "decided_by": self.decided_by,
             "static_verdict": self.static_verdict,
             "static_evidence": list(self.static_evidence),
+            "schedule_digests": dict(self.schedule_digests),
+            "mismatch_detail": self.mismatch_detail,
             "is_commutative": self.is_commutative,
             "cost": self.cost.to_dict(),
         }
@@ -153,6 +178,20 @@ class DcaReport:
     #: perturbing schedule) — an upper bound on the realized saving, since
     #: a non-commutative loop would have short-circuited on first failure.
     static_schedules_saved: int = 0
+    #: Schedule executions the dynamic stage skipped, by reason:
+    #: ``vacuous`` (loop never reached 2 iterations), ``short-circuit``
+    #: (a schedule failed, the rest were skipped), ``untestable``
+    #: (outlining impossible).  Together with ``schedule_executions`` and
+    #: ``static_schedules_saved`` this accounts for every planned
+    #: execution: executed + saved + skipped == eligible loops × (1 +
+    #: testing schedules), where eligible loops are those decided
+    #: statically or dynamically.
+    schedules_skipped: Dict[str, int] = field(default_factory=dict)
+    #: Which schedule engine produced this report and with how many
+    #: workers.  Deliberately *not* serialized: reports are byte-identical
+    #: across backends, and these fields would break that.
+    backend: str = "serial"
+    jobs: int = 1
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]
@@ -191,6 +230,10 @@ class DcaReport:
             "executions": self.executions,
             "schedule_executions": self.schedule_executions,
             "schedule_executions_saved_static": self.static_schedules_saved,
+            "schedule_executions_skipped": {
+                reason: self.schedules_skipped[reason]
+                for reason in sorted(self.schedules_skipped)
+            },
             "interp_instructions": self.interp_instructions,
             "snapshots_taken": self.snapshots_taken,
             "snapshot_nodes": self.snapshot_nodes,
@@ -248,7 +291,7 @@ class DcaReport:
         """Per-loop cost breakdown table (dynamically tested loops)."""
         header = (
             f"{'loop':16s}{'decided':>10s}{'scheds':>8s}{'instrs':>12s}"
-            f"{'snaps':>7s}{'bytes':>10s}{'time_ms':>9s}"
+            f"{'snaps':>7s}{'bytes':>10s}{'wall_ms':>9s}{'cpu_ms':>9s}"
         )
         lines = [header, "-" * len(header)]
         for label in sorted(self.results):
@@ -261,5 +304,6 @@ class DcaReport:
                 f"{cost.snapshots_taken:>7d}"
                 f"{cost.snapshot_bytes:>10d}"
                 f"{cost.total_time_ms:>9.2f}"
+                f"{cost.total_cpu_time_ms:>9.2f}"
             )
         return "\n".join(lines)

@@ -19,6 +19,7 @@ golden and the test execution, keeping completion order aligned.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -31,7 +32,7 @@ from repro.core.instrument import (
     RT_VERIFY,
     VerifySpec,
 )
-from repro.core.liveout import Snapshot, capture, snapshots_equal
+from repro.core.liveout import Snapshot, capture, snapshot_digest, snapshots_equal
 from repro.core.schedules import Schedule
 from repro.interp.interpreter import Interpreter, RuntimeHooks
 from repro.interp.values import MiniCRuntimeError
@@ -97,8 +98,12 @@ class DcaRuntime(RuntimeHooks):
         self.verify_comparisons = 0
         self.mismatches = 0
         #: Wall time of the execution this runtime accompanied, assigned
-        #: by whichever driver timed it (``DcaAnalyzer._run_schedule``).
+        #: by whichever driver timed it (the schedule engine).
         self.wall_ms = 0.0
+        #: Compact description of the first live-out divergence, built at
+        #: mismatch time (never holds snapshots — safe to pickle back
+        #: from worker processes).
+        self._mismatch_report: Optional[Dict[str, object]] = None
         self._obs = obs.current()
 
     # -- intrinsic dispatch -----------------------------------------------------
@@ -208,6 +213,27 @@ class DcaRuntime(RuntimeHooks):
                 # the comparison/snapshot cost it just paid.
                 self.mismatches += 1
                 self.violations.append(Violation(label, index))
+                if self._mismatch_report is None:
+                    expected = (
+                        reference[index] if index < len(reference) else None
+                    )
+                    self._mismatch_report = {
+                        "loop": label,
+                        "invocation": index,
+                        "kind": (
+                            "liveout-divergence"
+                            if expected is not None
+                            else "extra-invocation"
+                        ),
+                        "expected_digest": (
+                            snapshot_digest(expected) if expected else ""
+                        ),
+                        "actual_digest": snapshot_digest(snap),
+                        "expected_objects": (
+                            expected.size() if expected else 0
+                        ),
+                        "actual_objects": snap.size(),
+                    }
                 if self._obs.enabled:
                     self._obs.metrics.counter("dca.verify.mismatches").inc()
                     self._obs.event(
@@ -229,3 +255,25 @@ class DcaRuntime(RuntimeHooks):
 
     def invocation_count(self, label: str) -> int:
         return self.invocations.get(label, 0)
+
+    def snapshot_content_digest(self) -> str:
+        """Content hash over every snapshot this execution captured.
+
+        Labels and per-label snapshots fold in deterministic order, so
+        two executions producing identical live-out content — regardless
+        of which process ran them — get identical digests.  Workers ship
+        this hex string back instead of the snapshots themselves.
+        Empty when no snapshots were captured (eventual policy).
+        """
+        if not self.snapshots:
+            return ""
+        h = hashlib.sha256()
+        for label in sorted(self.snapshots):
+            h.update(label.encode("utf-8"))
+            for snap in self.snapshots[label]:
+                h.update(snapshot_digest(snap).encode("ascii"))
+        return h.hexdigest()
+
+    def first_mismatch_report(self) -> Optional[Dict[str, object]]:
+        """Compact description of the first live-out divergence, if any."""
+        return self._mismatch_report

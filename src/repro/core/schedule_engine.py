@@ -1,0 +1,620 @@
+"""Pluggable schedule-execution backends (serial / multiprocess).
+
+The dynamic stage of DCA is embarrassingly parallel: every permutation
+schedule of a loop is an independent re-execution of the instrumented
+program, compared against the golden snapshots.  This module factors the
+"execute one schedule" step out of :class:`~repro.core.dca.DcaAnalyzer`
+into picklable **work units** that a backend can run anywhere:
+
+* :class:`ScheduleTask` — one schedule execution: the pickled
+  instrumented test module, the schedule object, the loop's
+  :class:`~repro.core.instrument.VerifySpec`, the golden snapshots for
+  that loop (strict policy) or the golden program outcome (eventual
+  policy), plus the step budget and timing/observability switches.
+* :class:`ScheduleOutcome` — the compact result a backend ships back:
+  verdict-relevant booleans, cost counters, a **content digest** of the
+  captured live-out snapshots, and a compact mismatch report — never the
+  full heap snapshots.
+* :class:`LoopPlan` — the ordered task list for one loop (identity
+  first, then the perturbing schedules).
+
+Two backends implement :class:`ScheduleEngine`:
+
+* :class:`SerialScheduleEngine` executes plans in order, in process,
+  short-circuiting a loop's remaining schedules on the first failure —
+  byte-for-byte the classic sequential behaviour.
+* :class:`ProcessScheduleEngine` fans tasks out to a worker pool
+  (``concurrent.futures.ProcessPoolExecutor``).  Identity schedules for
+  every loop are submitted immediately; a loop's perturbing schedules
+  are submitted once its identity replay passes the gate.  When any
+  schedule of a loop fails, pending schedules *after* it (in task
+  order) are cancelled — schedules *before* it still run to completion
+  so the merged report stays deterministic.  A worker that dies
+  (OOM-killed, ``os._exit``) breaks the pool; the engine rebuilds it,
+  retries the affected tasks in isolation, and reports unrecoverable
+  ones as ``worker-lost`` so the analyzer can fault the loop instead of
+  hanging.
+
+**Determinism contract.**  For a fixed program + workload + schedule
+preset, both backends produce the same outcomes for every *consumed*
+task (everything up to and including a loop's first failure).  The
+process backend may speculatively execute schedules the serial backend
+would have skipped; the analyzer discards those at merge time, so
+reports, ``decided_by`` provenance and counters are identical.  Wall
+and CPU times are the only nondeterministic fields; injecting a clock
+into the analyzer zeroes them (workers then run with a zero clock),
+which makes the full JSON report byte-identical across backends — the
+invariant the differential fuzz harness and
+``benchmarks/test_schedule_engine_speedup.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.core.instrument import VerifySpec
+from repro.core.liveout import Snapshot, capture, snapshots_equal
+from repro.core.runtime import CommutativityMismatch, DcaRuntime
+from repro.core.schedules import Schedule
+from repro.interp.interpreter import Interpreter
+from repro.interp.values import MiniCRuntimeError
+
+__all__ = [
+    "FAULT_STYLES",
+    "LoopPlan",
+    "ProcessScheduleEngine",
+    "ScheduleEngine",
+    "ScheduleOutcome",
+    "ScheduleTask",
+    "SerialScheduleEngine",
+    "create_engine",
+    "execute_task",
+    "outcome_fails",
+    "should_test",
+]
+
+#: Environment knobs consulted when the analyzer is not given an explicit
+#: backend/jobs (lets CI exercise the parallel path suite-wide).
+BACKEND_ENV = "REPRO_SCHEDULE_BACKEND"
+JOBS_ENV = "REPRO_SCHEDULE_JOBS"
+
+#: Outcome statuses.
+OK = "ok"
+MISMATCH = "mismatch"  # live-out divergence (fail-fast abort)
+FAULT = "fault"  # MiniCRuntimeError / injected or real OOM
+WORKER_LOST = "worker-lost"  # worker process died mid-execution
+CANCELLED = "cancelled"  # early-cancelled; never executed
+
+#: Supported fault-injection styles (testing hook, threaded through
+#: ``DcaAnalyzer(fault_injection=...)``): ``raise`` raises a MiniC
+#: runtime error, ``oom`` raises :class:`MemoryError`, ``exit`` kills
+#: the worker process outright (mapped to an in-process exception under
+#: the serial backend, which must never kill the analyzer).
+FAULT_STYLES = ("raise", "oom", "exit")
+
+
+def _zero_clock() -> float:
+    """Deterministic clock used when timing must not leak into reports."""
+    return 0.0
+
+
+class _InjectedWorkerDeath(Exception):
+    """Serial-backend stand-in for a worker process dying."""
+
+
+def _fire_fault(style: str, in_process: bool) -> None:
+    if style == "raise":
+        raise MiniCRuntimeError("injected fault: raise")
+    if style == "oom":
+        raise MemoryError("injected fault: oom")
+    if style == "exit":
+        if in_process:
+            # Killing the analyzer process is never acceptable; the
+            # serial backend degrades the injection to a plain fault.
+            raise _InjectedWorkerDeath("injected fault: exit (serial)")
+        os._exit(21)
+    raise ValueError(f"unknown fault style {style!r}; expected {FAULT_STYLES}")
+
+
+# ---------------------------------------------------------------------------
+# Work units
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleTask:
+    """One picklable schedule execution, rehydrated inside a worker."""
+
+    label: str
+    index: int  # position in the loop's task order (0 = identity)
+    entry: str
+    args: List[object]
+    schedule: Schedule
+    spec: VerifySpec
+    #: Pickled instrumented test module (shared bytes across the loop's
+    #: tasks — unpickling yields a private copy per execution).
+    module_blob: bytes
+    #: Sorted global names of the module (eventual-policy outcome roots).
+    global_names: List[str]
+    #: Golden live-out snapshots for this loop (strict policy only).
+    golden: Optional[List[Snapshot]] = None
+    #: Golden program outcome ``(stdout, return, globals snapshot)``
+    #: (eventual policy only).
+    golden_outcome: Optional[Tuple] = None
+    liveout_policy: str = "strict"
+    rtol: float = 1e-9
+    max_steps: Optional[int] = None
+    #: False → workers report 0.0 wall/cpu ms (deterministic reports).
+    measure_time: bool = True
+    #: Record worker-local spans/metrics/events and ship them back.
+    obs_enabled: bool = False
+    #: Testing hook: one of :data:`FAULT_STYLES`, fired before execution.
+    inject_fault: Optional[str] = None
+
+    @property
+    def schedule_name(self) -> str:
+        return self.schedule.name
+
+
+@dataclass
+class ScheduleOutcome:
+    """Compact, picklable result of one schedule execution.
+
+    Ships a content digest of the captured snapshots plus a small
+    mismatch report — never the snapshots themselves.
+    """
+
+    label: str
+    schedule_name: str
+    index: int
+    status: str = OK
+    #: Eventual-policy final-outcome comparison (True under strict).
+    outcome_ok: bool = True
+    violations: int = 0
+    invocation_count: int = 0
+    max_trip: int = 0
+    steps: int = 0
+    snapshots_taken: int = 0
+    snapshot_nodes: int = 0
+    snapshot_bytes: int = 0
+    verify_comparisons: int = 0
+    mismatches: int = 0
+    wall_ms: float = 0.0
+    cpu_ms: float = 0.0
+    #: Content hash of every snapshot this execution captured.
+    snapshot_digest: str = ""
+    #: Compact description of the first live-out divergence, if any.
+    mismatch_report: Optional[Dict[str, object]] = None
+    error: str = ""
+    #: Worker observability payload (spans/metrics/events), merged by the
+    #: coordinator; None for in-process execution.
+    obs: Optional[Dict[str, object]] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.status != CANCELLED
+
+
+@dataclass
+class LoopPlan:
+    """The ordered schedule executions planned for one loop."""
+
+    label: str
+    #: Invocation count the golden run observed for this loop.
+    expected_invocations: int
+    tasks: List[ScheduleTask] = field(default_factory=list)
+
+
+def outcome_fails(outcome: ScheduleOutcome, expected_invocations: int) -> bool:
+    """Whether this outcome terminates the loop's schedule testing.
+
+    Mirrors the serial analyzer's short-circuit conditions exactly; both
+    backends and the merge step share this single definition.
+    """
+    if outcome.status != OK and outcome.status != MISMATCH:
+        return True
+    if outcome.violations or not outcome.outcome_ok:
+        return True
+    return outcome.invocation_count != expected_invocations
+
+
+def should_test(plan: LoopPlan, identity: ScheduleOutcome) -> bool:
+    """Gate: run perturbing schedules only when the identity replay is
+    faithful and the loop actually iterates (≥2 trips somewhere)."""
+    return not outcome_fails(identity, plan.expected_invocations) and (
+        identity.max_trip >= 2
+    )
+
+
+def cancelled_outcome(task: ScheduleTask) -> ScheduleOutcome:
+    return ScheduleOutcome(
+        label=task.label,
+        schedule_name=task.schedule_name,
+        index=task.index,
+        status=CANCELLED,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task execution (shared by both backends)
+# ---------------------------------------------------------------------------
+
+
+def execute_task(
+    task: ScheduleTask,
+    clock: Optional[Callable[[], float]] = None,
+    cpu_clock: Optional[Callable[[], float]] = None,
+    obs_ctx=None,
+    in_process: bool = False,
+) -> ScheduleOutcome:
+    """Run one schedule execution and summarize it.
+
+    Faults (MiniC runtime errors, injected OOMs, any unexpected
+    exception) are converted into a ``fault`` outcome — a schedule that
+    crashes must fault its loop, not the analyzer.
+    """
+    if clock is None:
+        clock = time.perf_counter if task.measure_time else _zero_clock
+    if cpu_clock is None:
+        cpu_clock = time.process_time if task.measure_time else _zero_clock
+    if obs_ctx is None:
+        obs_ctx = obs.current()
+
+    outcome = ScheduleOutcome(
+        label=task.label, schedule_name=task.schedule_name, index=task.index
+    )
+    strict = task.liveout_policy == "strict"
+    module = pickle.loads(task.module_blob)
+    runtime = DcaRuntime(
+        specs={task.label: task.spec},
+        schedule=task.schedule,
+        golden={task.label: list(task.golden or [])} if strict else None,
+        rtol=task.rtol,
+        fail_fast=True,
+        capture_snapshots=strict,
+    )
+    interp = Interpreter(module, runtime=runtime, max_steps=task.max_steps)
+    mismatch = False
+    fault = False
+    start = clock()
+    cpu_start = cpu_clock()
+    try:
+        with obs_ctx.span(
+            "dca.schedule", loop=task.label, schedule=task.schedule_name
+        ) as sp:
+            try:
+                if task.inject_fault:
+                    _fire_fault(task.inject_fault, in_process)
+                entry_result = interp.run(task.entry, task.args)
+            except CommutativityMismatch:
+                mismatch = True  # recorded in runtime.violations
+            except MiniCRuntimeError:
+                fault = True
+            except Exception as exc:  # OOM, injected death, anything else
+                fault = True
+                outcome.error = repr(exc)
+            else:
+                if not strict:
+                    golden_out, golden_ret, golden_globals = task.golden_outcome
+                    roots = [interp.globals[name] for name in task.global_names]
+                    final = capture(roots)
+                    outcome.outcome_ok = (
+                        interp.output_text() == golden_out
+                        and entry_result == golden_ret
+                        and snapshots_equal(golden_globals, final, rtol=task.rtol)
+                    )
+            sp.set(instructions=interp.steps, mismatch=mismatch, fault=fault)
+    finally:
+        outcome.wall_ms = (clock() - start) * 1000.0
+        outcome.cpu_ms = (cpu_clock() - cpu_start) * 1000.0
+        outcome.steps = interp.steps
+        outcome.invocation_count = runtime.invocation_count(task.label)
+        outcome.max_trip = runtime.max_trip_count(task.label)
+        outcome.violations = len(runtime.violations)
+        outcome.snapshots_taken = runtime.snapshots_taken
+        outcome.snapshot_nodes = runtime.snapshot_nodes
+        outcome.snapshot_bytes = runtime.snapshot_bytes
+        outcome.verify_comparisons = runtime.verify_comparisons
+        outcome.mismatches = runtime.mismatches
+        outcome.snapshot_digest = runtime.snapshot_content_digest()
+        outcome.mismatch_report = runtime.first_mismatch_report()
+    outcome.status = FAULT if fault else (MISMATCH if mismatch else OK)
+    return outcome
+
+
+def run_task_in_worker(task: ScheduleTask) -> ScheduleOutcome:
+    """Worker-process entry point: rehydrate, execute, summarize.
+
+    When the coordinator has observability enabled, the worker records
+    spans/metrics/events into a private context and ships the serialized
+    payload back inside the outcome for merging.
+    """
+    if not task.obs_enabled:
+        if obs.is_enabled():
+            # A forked worker can inherit the coordinator's enabled
+            # context; recording into it would silently accumulate.
+            obs.disable()
+        return execute_task(task, in_process=False)
+    ctx = obs.enable(clock=None if task.measure_time else _zero_clock)
+    try:
+        outcome = execute_task(task, obs_ctx=ctx, in_process=False)
+    finally:
+        payload = {
+            "pid": os.getpid(),
+            "spans": [
+                {
+                    "name": rec.name,
+                    "args": dict(rec.args),
+                    "path": list(rec.path),
+                    "start_us": rec.start_us,
+                    "dur_us": rec.dur_us,
+                    "depth": rec.depth,
+                    "parent": rec.parent,
+                    "sid": rec.sid,
+                }
+                for rec in ctx.tracer.spans
+            ],
+            "metrics": ctx.metrics.to_dict(),
+            "events": [e.to_dict() for e in ctx.events.events],
+        }
+        obs.disable()
+    outcome.obs = payload
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ScheduleEngine:
+    """Executes the schedule plans of one analysis run."""
+
+    name = "abstract"
+    jobs = 1
+    #: Whether the backend itself opens per-loop ``dca.loop`` spans (the
+    #: serial backend nests schedule spans inside them live; the process
+    #: backend leaves that to the analyzer's merge step).
+    emits_loop_spans = False
+
+    def run(self, plans: Sequence[LoopPlan]) -> Dict[str, List[ScheduleOutcome]]:
+        """Execute every plan; returns outcomes per label, in task order.
+
+        Contract: for each plan, every task up to and including the
+        first failing one (in task order) has an executed outcome;
+        later entries may be ``cancelled``.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class SerialScheduleEngine(ScheduleEngine):
+    """In-process sequential execution — the classic behaviour."""
+
+    name = "serial"
+    emits_loop_spans = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.perf_counter
+        #: A fake clock means a deterministic run: CPU time is zeroed so
+        #: reports stay reproducible.
+        self._cpu_clock = (
+            time.process_time if self._clock is time.perf_counter else _zero_clock
+        )
+
+    def run(self, plans: Sequence[LoopPlan]) -> Dict[str, List[ScheduleOutcome]]:
+        ctx = obs.current()
+        results: Dict[str, List[ScheduleOutcome]] = {}
+        for plan in plans:
+            outcomes = [cancelled_outcome(task) for task in plan.tasks]
+            with ctx.span("dca.loop", loop=plan.label):
+                identity = execute_task(
+                    plan.tasks[0],
+                    clock=self._clock,
+                    cpu_clock=self._cpu_clock,
+                    obs_ctx=ctx,
+                    in_process=True,
+                )
+                outcomes[0] = identity
+                if should_test(plan, identity):
+                    for i in range(1, len(plan.tasks)):
+                        outcome = execute_task(
+                            plan.tasks[i],
+                            clock=self._clock,
+                            cpu_clock=self._cpu_clock,
+                            obs_ctx=ctx,
+                            in_process=True,
+                        )
+                        outcomes[i] = outcome
+                        if outcome_fails(outcome, plan.expected_invocations):
+                            break  # short-circuit: rest stay cancelled
+            results[plan.label] = outcomes
+        return results
+
+
+#: Shared worker pools keyed by job count — reused across engines (and
+#: analyzer instances) so repeated small analyses don't pay pool startup
+#: every time.  Rebuilt transparently when a worker death breaks a pool.
+_SHARED_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _mp_context():
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shared_pool(jobs: int) -> ProcessPoolExecutor:
+    pool = _SHARED_POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=_mp_context())
+        _SHARED_POOLS[jobs] = pool
+    return pool
+
+
+def _discard_pool(jobs: int) -> None:
+    pool = _SHARED_POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared worker pool (tests, interpreter exit)."""
+    for jobs in list(_SHARED_POOLS):
+        _discard_pool(jobs)
+
+
+atexit.register(shutdown_shared_pools)
+
+
+class ProcessScheduleEngine(ScheduleEngine):
+    """Multiprocess fan-out over a shared ``ProcessPoolExecutor``."""
+
+    name = "process"
+    emits_loop_spans = False
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = max(1, jobs or os.cpu_count() or 1)
+
+    def run(self, plans: Sequence[LoopPlan]) -> Dict[str, List[ScheduleOutcome]]:
+        if not plans:
+            return {}
+        results: Dict[str, List[ScheduleOutcome]] = {
+            plan.label: [cancelled_outcome(task) for task in plan.tasks]
+            for plan in plans
+        }
+        #: label -> index of the earliest known failure (or None).
+        fail_at: Dict[str, Optional[int]] = {plan.label: None for plan in plans}
+        future_map: Dict[object, Tuple[LoopPlan, int]] = {}
+        pool_broken = False
+
+        def submit(plan: LoopPlan, index: int) -> None:
+            try:
+                fut = _shared_pool(self.jobs).submit(
+                    run_task_in_worker, plan.tasks[index]
+                )
+            except BrokenProcessPool:
+                # The shared pool died under an earlier batch; replace it
+                # and resubmit on the fresh one.
+                _discard_pool(self.jobs)
+                fut = _shared_pool(self.jobs).submit(
+                    run_task_in_worker, plan.tasks[index]
+                )
+            future_map[fut] = (plan, index)
+
+        def collect(fut, plan: LoopPlan, index: int) -> ScheduleOutcome:
+            nonlocal pool_broken
+            if fut.cancelled():
+                return cancelled_outcome(plan.tasks[index])
+            try:
+                return fut.result()
+            except BrokenProcessPool:
+                pool_broken = True
+                return self._retry_isolated(plan.tasks[index])
+            except Exception as exc:  # submission/pickling failure
+                outcome = cancelled_outcome(plan.tasks[index])
+                outcome.status = FAULT
+                outcome.error = repr(exc)
+                return outcome
+
+        def handle(plan: LoopPlan, index: int, outcome: ScheduleOutcome) -> None:
+            results[plan.label][index] = outcome
+            if index == 0:
+                if should_test(plan, outcome):
+                    for i in range(1, len(plan.tasks)):
+                        submit(plan, i)
+                return
+            if not outcome_fails(outcome, plan.expected_invocations):
+                return
+            first = fail_at[plan.label]
+            if first is None or index < first:
+                fail_at[plan.label] = index
+                # Early-cancel everything *after* the failure; earlier
+                # schedules must still complete for deterministic merging.
+                for fut, (p, i) in list(future_map.items()):
+                    if p is plan and i > index and fut.cancel():
+                        del future_map[fut]
+                        results[plan.label][i] = cancelled_outcome(p.tasks[i])
+
+        for plan in plans:
+            submit(plan, 0)
+        while future_map:
+            done, _ = wait(set(future_map), return_when=FIRST_COMPLETED)
+            for fut in done:
+                plan, index = future_map.pop(fut)
+                handle(plan, index, collect(fut, plan, index))
+            if pool_broken:
+                # The broken pool poisons every outstanding future; drain
+                # them via isolated retries, then start a fresh pool for
+                # any follow-up submissions.
+                for fut, (plan, index) in list(future_map.items()):
+                    del future_map[fut]
+                    handle(plan, index, collect(fut, plan, index))
+                _discard_pool(self.jobs)
+                pool_broken = False
+        return results
+
+    @staticmethod
+    def _retry_isolated(task: ScheduleTask) -> ScheduleOutcome:
+        """Re-run one task in a throwaway single-worker pool.
+
+        A broken pool cannot attribute the death to a task, so every
+        in-flight task is retried alone; a task that kills its private
+        worker again is the culprit and is reported ``worker-lost``.
+        """
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+        try:
+            return pool.submit(run_task_in_worker, task).result()
+        except BrokenProcessPool:
+            outcome = cancelled_outcome(task)
+            outcome.status = WORKER_LOST
+            outcome.error = "worker process died during execution"
+            return outcome
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        # Shared pools outlive individual engines on purpose; nothing to
+        # tear down per run.  ``shutdown_shared_pools`` exists for tests.
+        pass
+
+
+def create_engine(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> ScheduleEngine:
+    """Build a schedule engine from explicit settings or the environment.
+
+    Resolution order: explicit ``backend`` argument, then the
+    ``REPRO_SCHEDULE_BACKEND`` environment variable, then ``serial``.
+    Passing ``jobs > 1`` without a backend implies ``process``.
+    """
+    if jobs is None:
+        env_jobs = os.environ.get(JOBS_ENV, "").strip()
+        if env_jobs:
+            jobs = int(env_jobs)
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or None
+    if backend is None:
+        backend = "process" if jobs and jobs > 1 else "serial"
+    if backend == "serial":
+        return SerialScheduleEngine(clock=clock)
+    if backend == "process":
+        return ProcessScheduleEngine(jobs=jobs)
+    raise ValueError(
+        f"unknown schedule backend {backend!r}; expected 'serial' or 'process'"
+    )

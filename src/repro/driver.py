@@ -60,6 +60,8 @@ def profile_program(
     liveout_policy: str = "strict",
     static_filter: bool = True,
     max_steps: Optional[int] = None,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ):
     """Run the full DCA pipeline with observability enabled.
 
@@ -89,6 +91,8 @@ def profile_program(
         liveout_policy=liveout_policy,
         static_filter=static_filter,
         max_steps=max_steps,
+        backend=backend,
+        jobs=jobs,
     )
     report = analyzer.analyze()
     return report, ctx

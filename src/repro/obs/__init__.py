@@ -104,6 +104,17 @@ class ObsContext:
         if self.enabled:
             self.events.emit(severity, kind, message, provenance=provenance, **fields)
 
+    def absorb(self, payload: Dict[str, object], lane: int = 1) -> None:
+        """Merge a worker process's observability payload into this
+        context: spans onto ``lane`` of the tracer, metrics into the
+        registry, events re-sequenced into the log.  No-op when disabled.
+        """
+        if not self.enabled or not payload:
+            return
+        self.tracer.absorb(payload.get("spans") or [], lane=lane)
+        self.metrics.merge(payload.get("metrics") or {})
+        self.events.absorb(payload.get("events") or [])
+
     # -- lifecycle -------------------------------------------------------------
 
     def reset(self) -> None:

@@ -110,6 +110,26 @@ class EventLog:
             out[event.severity] += 1
         return out
 
+    def absorb(self, event_dicts: List[Dict[str, object]]) -> None:
+        """Append events recorded by another log (a worker process).
+
+        Events are re-sequenced onto this log's counter; their recorded
+        timestamps (worker-relative) are preserved.
+        """
+        for d in event_dicts:
+            fields = d.get("fields") or {}
+            self.events.append(
+                Event(
+                    seq=len(self.events),
+                    t_ms=float(d.get("t_ms") or 0.0),
+                    severity=str(d["severity"]),
+                    kind=str(d["kind"]),
+                    message=str(d["message"]),
+                    provenance=str(d.get("provenance") or ""),
+                    fields=dict(fields),
+                )
+            )
+
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(e.to_dict()) for e in self.events)
 

@@ -134,6 +134,35 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._instruments)
 
+    def merge(self, payload: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's ``to_dict()`` payload into this one.
+
+        Counters add, gauges take the incoming value, histograms combine
+        their streaming summaries.  Used to merge metrics recorded by
+        worker processes back into the coordinator's registry.
+        """
+        for name, value in (payload.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (payload.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, summary in (payload.get("histograms") or {}).items():
+            hist = self.histogram(name)
+            count = int(summary.get("count") or 0)
+            if not count:
+                continue
+            hist.count += count
+            hist.total += float(summary.get("sum") or 0.0)
+            for bound, better in (("min", min), ("max", max)):
+                incoming = summary.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                setattr(
+                    hist,
+                    bound,
+                    incoming if current is None else better(current, incoming),
+                )
+
     def reset(self) -> None:
         """Drop every instrument — isolation between runs."""
         self._instruments = {}

@@ -28,7 +28,17 @@ __all__ = ["NULL_SPAN", "SpanRecord", "Tracer"]
 class SpanRecord:
     """One completed span."""
 
-    __slots__ = ("sid", "parent", "name", "args", "path", "start_us", "dur_us", "depth")
+    __slots__ = (
+        "sid",
+        "parent",
+        "name",
+        "args",
+        "path",
+        "start_us",
+        "dur_us",
+        "depth",
+        "lane",
+    )
 
     def __init__(
         self,
@@ -40,6 +50,7 @@ class SpanRecord:
         start_us: float,
         dur_us: float,
         depth: int,
+        lane: int = 0,
     ):
         self.sid = sid
         self.parent = parent
@@ -50,6 +61,10 @@ class SpanRecord:
         self.start_us = start_us
         self.dur_us = dur_us
         self.depth = depth
+        #: Thread lane for export: 0 is the coordinator; spans absorbed
+        #: from worker processes keep their worker's lane number, so a
+        #: Chrome trace renders each worker as its own row.
+        self.lane = lane
 
     @property
     def end_us(self) -> float:
@@ -137,6 +152,40 @@ class Tracer:
         """A context manager recording one nested span."""
         return _SpanHandle(self, name, args)
 
+    def absorb(self, span_dicts: List[Dict[str, object]], lane: int = 1) -> None:
+        """Merge spans recorded by another tracer (a worker process).
+
+        ``span_dicts`` is the worker's serialized span list (one dict per
+        :class:`SpanRecord`).  Span ids are remapped past this tracer's
+        counter (parent links preserved within the batch), timestamps are
+        re-based onto this tracer's current offset so the batch lands
+        "now" on its own ``lane``, and relative timing within the batch
+        survives intact.
+        """
+        if not span_dicts:
+            return
+        base = (self._clock() - self._epoch) * 1e6
+        batch_start = min(float(d["start_us"]) for d in span_dicts)
+        sid_map: Dict[int, int] = {}
+        for d in span_dicts:
+            sid_map[int(d["sid"])] = self._next_id
+            self._next_id += 1
+        for d in span_dicts:
+            parent = d.get("parent")
+            self.spans.append(
+                SpanRecord(
+                    sid=sid_map[int(d["sid"])],
+                    parent=sid_map.get(parent) if parent is not None else None,
+                    name=str(d["name"]),
+                    args=dict(d.get("args") or {}),
+                    path=tuple(d.get("path") or (str(d["name"]),)),
+                    start_us=base + float(d["start_us"]) - batch_start,
+                    dur_us=float(d["dur_us"]),
+                    depth=int(d.get("depth", 0)),
+                    lane=lane,
+                )
+            )
+
     def reset(self) -> None:
         self.spans = []
         self._stack = []
@@ -177,7 +226,8 @@ class Tracer:
                     "ts": rec.start_us,
                     "dur": rec.dur_us,
                     "pid": pid,
-                    "tid": tid,
+                    # Absorbed worker spans render on their own rows.
+                    "tid": tid + rec.lane,
                     "args": dict(rec.args),
                 }
             )

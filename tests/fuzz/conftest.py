@@ -1,0 +1,7 @@
+"""Make the fuzz helpers (fuzzgen, diffharness) importable by the tests
+in this directory without packaging them."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,157 @@
+"""Differential harness: serial DCA vs process DCA vs the static prover.
+
+The correctness bar for parallelizing our own analyzer is the one the
+paper sets for target loops: identical results under any execution
+order.  :func:`differential_check` enforces it three ways for one
+program:
+
+1. **Backend equality** — the full JSON report (verdicts, provenance,
+   reasons, counters, digests) must be byte-identical between the
+   serial and the process backend.  Both run with a zero clock so
+   timing fields cannot differ.
+2. **Static agreement** — where the static prover *proves* a verdict,
+   the dynamic oracle must not contradict it (same contract as
+   ``tests/test_static_commutativity.py``): a commutativity proof is
+   refuted by ``non-commutative`` / ``runtime-fault`` /
+   ``split-mismatch``; a race proof is refuted by a ``commutative``
+   verdict on a loop that actually reached two iterations.
+3. **Execution accounting** — executed + statically saved + skipped
+   schedule executions must cover exactly (1 + testing schedules) per
+   eligible loop (see DcaReport.schedules_skipped).
+
+Returns a list of human-readable divergence descriptions; an empty list
+means the program passed.  Reproduce any CI seed locally with::
+
+    PYTHONPATH=src python -c "
+    import sys; sys.path.insert(0, 'tests/fuzz')
+    from fuzzgen import generate_program
+    from diffharness import differential_check
+    print(generate_program(SEED)); print(differential_check(seed=SEED))"
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, List, Optional
+
+from repro.analysis.commutativity import (
+    PROVEN_COMMUTATIVE,
+    StaticCommutativityAnalysis,
+)
+from repro.core.dca import DcaAnalyzer
+from repro.core.report import (
+    COMMUTATIVE,
+    DECIDED_DYNAMIC,
+    DECIDED_STATIC,
+    NON_COMMUTATIVE,
+    RUNTIME_FAULT,
+    SPLIT_MISMATCH,
+)
+from repro.core.schedules import ScheduleConfig
+from repro.driver import compile_program
+
+from fuzzgen import generate_program
+
+__all__ = ["accounting_violation", "differential_check"]
+
+#: Dynamic verdicts that contradict a static commutativity proof.
+_REFUTES_COMMUTATIVE = {NON_COMMUTATIVE, RUNTIME_FAULT, SPLIT_MISMATCH}
+
+
+def _zero() -> float:
+    return 0.0
+
+
+def accounting_violation(report) -> Optional[str]:
+    """Check the schedule-execution accounting invariant on a report.
+
+    ``executed + saved + skipped == eligible × (1 + testing schedules)``
+    where eligible loops are those decided statically or dynamically.
+    Returns a description of the violation, or None.
+    """
+    n_schedules = 1 + len(ScheduleConfig.default().testing_schedules())
+    eligible = sum(
+        1
+        for r in report.results.values()
+        if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+    )
+    skipped = sum(report.schedules_skipped.values())
+    total = report.schedule_executions + report.static_schedules_saved + skipped
+    if total != eligible * n_schedules:
+        return (
+            f"accounting: executed {report.schedule_executions} + saved "
+            f"{report.static_schedules_saved} + skipped {skipped} != "
+            f"{eligible} eligible loops x {n_schedules} schedules"
+        )
+    return None
+
+
+def differential_check(
+    source: Optional[str] = None,
+    seed: Optional[int] = None,
+    jobs: int = 2,
+) -> List[str]:
+    """Run one program through all three analyses; return divergences."""
+    if source is None:
+        source = generate_program(seed)
+    problems: List[str] = []
+
+    serial = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial",
+    ).analyze()
+    process = DcaAnalyzer(
+        compile_program(source),
+        static_filter=False,
+        clock=_zero,
+        backend="process",
+        jobs=jobs,
+    ).analyze()
+
+    j_serial, j_process = serial.to_json(), process.to_json()
+    if j_serial != j_process:
+        diff = "\n".join(
+            list(
+                difflib.unified_diff(
+                    j_serial.splitlines(),
+                    j_process.splitlines(),
+                    fromfile="serial",
+                    tofile="process",
+                    lineterm="",
+                )
+            )[:40]
+        )
+        problems.append(f"backend report divergence:\n{diff}")
+
+    static = StaticCommutativityAnalysis(compile_program(source)).analyze()
+    for label, verdict in static.items():
+        if not verdict.is_proven or label not in serial.results:
+            continue
+        dynamic = serial.results[label]
+        if verdict.verdict == PROVEN_COMMUTATIVE:
+            if dynamic.verdict in _REFUTES_COMMUTATIVE:
+                problems.append(
+                    f"{label}: static commutativity proof contradicted by "
+                    f"dynamic verdict {dynamic.verdict} ({dynamic.reason})"
+                )
+        elif dynamic.verdict == COMMUTATIVE and dynamic.max_trip >= 2:
+            problems.append(
+                f"{label}: static race proof contradicted by dynamic "
+                f"verdict {dynamic.verdict}"
+            )
+
+    for name, report in (("serial", serial), ("process", process)):
+        violation = accounting_violation(report)
+        if violation:
+            problems.append(f"{name} {violation}")
+
+    return problems
+
+
+def verdict_map(source: str) -> Dict[str, str]:
+    """Per-loop dynamic verdicts (static filter off) — corpus goldens."""
+    report = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial",
+    ).analyze()
+    return {label: report.results[label].verdict for label in sorted(report.results)}

@@ -1,0 +1,207 @@
+"""Seeded random MiniC program generator for differential fuzzing.
+
+Programs are assembled from weighted *loop archetypes* chosen to stress
+exactly the behaviours the paper's dynamic stage must classify
+correctly — the generator is deliberately biased toward reductions,
+pointer chases, and loop-carried dependences rather than uniform random
+code, because those are where verdicts can plausibly diverge between
+execution orders:
+
+* ``map`` / ``cond_count`` / ``reduction`` / ``max_reduction`` /
+  ``histogram`` — commutative idioms (distinct writes, associative
+  updates, scatter-add);
+* ``last_writer`` / ``sub_chain`` / ``prefix`` / ``cross_inplace`` —
+  order-dependent updates and loop-carried flow (non-commutative under
+  the strict policy);
+* ``pointer_chase`` — heap building (order-dependent structure) plus a
+  pointer traversal whose payload commutes, the paper's motivating case
+  for dynamic over static analysis.
+
+Everything is integer-valued, so verdicts never hinge on float roundoff
+tolerance, and all I/O happens after the loops (prints inside a loop
+would get it excluded at selection).  ``generate_program(seed)`` is a
+pure function of the seed: the same seed always yields the same source,
+which is how CI failures are reproduced locally (see DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ARCHETYPES", "generate_program"]
+
+#: (name, weight).  Weights bias toward the order-sensitive archetypes.
+ARCHETYPES = (
+    ("map", 2),
+    ("reduction", 3),
+    ("max_reduction", 2),
+    ("histogram", 3),
+    ("cond_count", 2),
+    ("last_writer", 3),
+    ("sub_chain", 2),
+    ("prefix", 3),
+    ("cross_inplace", 2),
+    ("pointer_chase", 3),
+)
+
+
+class _Emitter:
+    def __init__(self, rng: random.Random, n: int):
+        self.rng = rng
+        self.n = n
+        self.body: list[str] = []
+        self.prints: list[str] = []
+        self.needs_node = False
+
+    def line(self, text: str) -> None:
+        self.body.append(f"  {text}")
+
+    def for_loop(self, body_lines, var: str = "i", start: int = 0) -> None:
+        self.line(f"for (int {var} = {start}; {var} < {self.n}; {var} = {var} + 1) {{")
+        for text in body_lines:
+            self.line(f"  {text}")
+        self.line("}")
+
+    def checksum_array(self, k: int, arr: str, length) -> None:
+        """Reduce an array to a printable scalar (itself a commutative
+        reduction loop, so it also feeds the oracle)."""
+        acc = f"chk{k}"
+        self.line(f"int {acc} = 0;")
+        self.line(f"for (int j = 0; j < {length}; j = j + 1) {{")
+        self.line(f"  {acc} += {arr}[j];")
+        self.line("}")
+        self.prints.append(acc)
+
+
+def _emit_map(e: _Emitter, k: int) -> None:
+    c1, c2 = e.rng.randint(2, 9), e.rng.randint(0, 20)
+    e.line(f"int[] b{k} = new int[{e.n}];")
+    e.for_loop([f"b{k}[i] = a[i] * {c1} + {c2};"])
+    e.checksum_array(k, f"b{k}", e.n)
+
+
+def _emit_reduction(e: _Emitter, k: int) -> None:
+    c = e.rng.randint(1, 7)
+    e.line(f"int s{k} = 0;")
+    e.for_loop([f"s{k} += a[i] * {c};"])
+    e.prints.append(f"s{k}")
+
+
+def _emit_max_reduction(e: _Emitter, k: int) -> None:
+    e.line(f"int m{k} = -1000;")
+    e.for_loop([f"m{k} = max(m{k}, a[i]);"])
+    e.prints.append(f"m{k}")
+
+
+def _emit_histogram(e: _Emitter, k: int) -> None:
+    buckets = e.rng.choice((4, 8))
+    e.line(f"int[] h{k} = new int[{buckets}];")
+    e.for_loop([f"h{k}[abs(a[i]) % {buckets}] += 1;"])
+    e.checksum_array(k, f"h{k}", buckets)
+
+
+def _emit_cond_count(e: _Emitter, k: int) -> None:
+    mod = e.rng.randint(2, 5)
+    e.line(f"int c{k} = 0;")
+    e.for_loop([f"if (abs(a[i]) % {mod} == 0) {{", f"  c{k} += 1;", "}"])
+    e.prints.append(f"c{k}")
+
+
+def _emit_last_writer(e: _Emitter, k: int) -> None:
+    # Order-dependent: whichever iteration runs last wins.
+    e.line(f"int last{k} = 0;")
+    e.for_loop([f"last{k} = a[i];"])
+    e.prints.append(f"last{k}")
+
+
+def _emit_sub_chain(e: _Emitter, k: int) -> None:
+    # Subtraction does not commute: s = a[i] - s is order-dependent.
+    e.line(f"int s{k} = {e.rng.randint(0, 5)};")
+    e.for_loop([f"s{k} = a[i] - s{k};"])
+    e.prints.append(f"s{k}")
+
+
+def _emit_prefix(e: _Emitter, k: int) -> None:
+    # Loop-carried flow a[i] <- a[i-1]: a prefix sum is the classic
+    # non-commutative loop.
+    e.line(f"int[] p{k} = new int[{e.n}];")
+    e.for_loop([f"p{k}[i] = a[i];"])
+    e.for_loop([f"p{k}[i] = p{k}[i] + p{k}[i - 1];"], var="i", start=1)
+    e.checksum_array(k, f"p{k}", e.n)
+
+
+def _emit_cross_inplace(e: _Emitter, k: int) -> None:
+    # In-place cross-read: iteration i reads a slot another iteration
+    # mutates, so the result depends on execution order.
+    e.line(f"int[] x{k} = new int[{e.n}];")
+    e.for_loop([f"x{k}[i] = a[i];"])
+    e.for_loop([f"x{k}[i] = x{k}[i] + x{k}[{e.n - 1} - i];"])
+    e.checksum_array(k, f"x{k}", e.n)
+
+
+def _emit_pointer_chase(e: _Emitter, k: int) -> None:
+    # Build loop: order-dependent list structure (head dependence).
+    # Traversal: per-node update + reduction, commutative payload.
+    e.needs_node = True
+    mul = e.rng.randint(2, 5)
+    e.line(f"Node* head{k} = null;")
+    e.for_loop(
+        [
+            "Node* n = new Node;",
+            "n.value = a[i];",
+            f"n.next = head{k};",
+            f"head{k} = n;",
+        ]
+    )
+    e.line(f"int t{k} = 0;")
+    e.line(f"Node* p{k} = head{k};")
+    e.line(f"while (p{k} != null) {{")
+    e.line(f"  p{k}.value = p{k}.value * {mul} + 1;")
+    e.line(f"  t{k} += p{k}.value;")
+    e.line(f"  p{k} = p{k}.next;")
+    e.line("}")
+    e.prints.append(f"t{k}")
+
+
+_EMITTERS = {
+    "map": _emit_map,
+    "reduction": _emit_reduction,
+    "max_reduction": _emit_max_reduction,
+    "histogram": _emit_histogram,
+    "cond_count": _emit_cond_count,
+    "last_writer": _emit_last_writer,
+    "sub_chain": _emit_sub_chain,
+    "prefix": _emit_prefix,
+    "cross_inplace": _emit_cross_inplace,
+    "pointer_chase": _emit_pointer_chase,
+}
+
+
+def generate_program(seed: int) -> str:
+    """Deterministically generate one MiniC program from ``seed``."""
+    rng = random.Random(seed)
+    n = rng.randint(4, 16)
+    e = _Emitter(rng, n)
+
+    names = [name for name, _ in ARCHETYPES]
+    weights = [w for _, w in ARCHETYPES]
+    chosen = rng.choices(names, weights=weights, k=rng.randint(1, 3))
+
+    # Shared input array with a mildly irregular but deterministic fill.
+    c1, c2, mod = rng.randint(3, 11), rng.randint(1, 13), rng.randint(17, 37)
+    e.line(f"int[] a = new int[{n}];")
+    e.for_loop([f"a[i] = (i * {c1} + {c2}) % {mod} - {mod // 2};"])
+
+    for k, name in enumerate(chosen):
+        _EMITTERS[name](e, k)
+
+    lines = [f"// fuzz seed {seed}: {', '.join(chosen)} (N={n})"]
+    if e.needs_node:
+        lines.append("struct Node { int value; Node* next; }")
+        lines.append("")
+    lines.append("func void main() {")
+    lines.extend(e.body)
+    for name in e.prints:
+        lines.append(f"  print({name});")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

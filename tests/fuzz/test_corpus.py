@@ -1,0 +1,50 @@
+"""Fuzz-found regression corpus.
+
+Each ``corpus/*.mc`` is a generated program promoted to a fixture
+because its verdict mix is interesting (mixed commutative and
+non-commutative loops across the generator's archetypes).  The paired
+``*.expect.json`` pins the per-loop dynamic verdicts (static filter
+off); every program also re-runs through the full differential harness,
+so a regression in either backend or the static prover surfaces here
+with a stable reproducer already checked in.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from diffharness import differential_check, verdict_map
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.mc")))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 5
+    # The corpus exists to pin *mixed* behaviour.
+    mixed = 0
+    for path in CORPUS:
+        with open(path.replace(".mc", ".expect.json")) as handle:
+            verdicts = set(json.load(handle).values())
+        if {"commutative", "non-commutative"} <= verdicts:
+            mixed += 1
+    assert mixed >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+def test_corpus_program_matches_expected_verdicts(path):
+    with open(path) as handle:
+        source = handle.read()
+    with open(path.replace(".mc", ".expect.json")) as handle:
+        expected = json.load(handle)
+    assert verdict_map(source) == expected
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+def test_corpus_program_passes_differential_harness(path):
+    with open(path) as handle:
+        source = handle.read()
+    problems = differential_check(source=source)
+    assert not problems, f"{path} diverged:\n" + "\n".join(problems)

@@ -1,0 +1,46 @@
+"""Differential fuzz smoke: fixed seeds through the full harness.
+
+Every seed's program runs through serial DCA, process DCA, and the
+static prover; any verdict or report divergence fails the test with the
+generated source attached for reproduction.  CI runs this as the
+``fuzz-smoke`` job; raise the seed count locally with
+``REPRO_FUZZ_SEEDS=500 pytest tests/fuzz/test_differential.py``.
+"""
+
+import os
+
+import pytest
+
+from diffharness import differential_check
+from fuzzgen import ARCHETYPES, generate_program
+
+SEED_COUNT = int(os.environ.get("REPRO_FUZZ_SEEDS", "25"))
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_differential_seed(seed):
+    problems = differential_check(seed=seed)
+    assert not problems, (
+        f"seed {seed} diverged:\n"
+        + "\n".join(problems)
+        + "\n--- program ---\n"
+        + generate_program(seed)
+    )
+
+
+def test_generator_is_deterministic():
+    for seed in (0, 7, 123):
+        assert generate_program(seed) == generate_program(seed)
+
+
+def test_generator_covers_archetypes():
+    # Across a modest seed range every archetype should appear at least
+    # once — guards against a weight or name falling out of rotation.
+    seen = set()
+    for seed in range(120):
+        header = generate_program(seed).splitlines()[0]
+        for name, _ in ARCHETYPES:
+            if name in header:
+                seen.add(name)
+    missing = {name for name, _ in ARCHETYPES} - seen
+    assert not missing, f"archetypes never generated: {missing}"

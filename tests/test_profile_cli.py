@@ -7,6 +7,7 @@ counters, and the event log is valid JSONL.
 """
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -93,6 +94,10 @@ def test_profile_text_output_has_cost_breakdown(capsys):
 
 
 def test_profile_no_static_filter_traces_schedule_spans(program_file, tmp_path):
+    if os.environ.get("REPRO_SCHEDULE_BACKEND") == "process":
+        # Worker schedule spans land on their own trace lanes rather than
+        # nested inside the coordinator's dca.loop span.
+        pytest.skip("span nesting asserts serial-backend layout")
     trace_path = tmp_path / "trace.json"
     assert main(
         ["profile", program_file, "--no-static-filter", "--trace", str(trace_path)]

@@ -1,5 +1,7 @@
 """Schedule tests, including hypothesis property tests."""
 
+import pickle
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -89,3 +91,49 @@ def test_is_valid_permutation_rejects_bad():
     assert not is_valid_permutation([0, 0, 1], 3)
     assert not is_valid_permutation([0, 1], 3)
     assert not is_valid_permutation([1, 2, 3], 3)
+
+
+# -- ScheduleConfig permutation properties -------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=64),
+    st.integers(0, 2**30),
+)
+@settings(max_examples=60)
+def test_config_schedules_preserve_iteration_multiset(values, seed):
+    """Every testing schedule is a true permutation of the identity
+    iteration order: applying it to a recorded iterator buffer yields the
+    same multiset of iterator values, every value exactly once."""
+    config = ScheduleConfig.default(seed=seed)
+    identity = [values[i] for i in IdentitySchedule().permutation(len(values))]
+    assert identity == values
+    for schedule in config.testing_schedules():
+        order = schedule.permutation(len(values))
+        assert is_valid_permutation(order, len(values)), schedule.name
+        permuted = [values[i] for i in order]
+        assert sorted(permuted) == sorted(values), schedule.name
+
+
+@given(st.integers(0, 2**30), st.integers(min_value=0, max_value=64))
+@settings(max_examples=60)
+def test_random_schedules_reproducible_from_recorded_seed(seed, n):
+    """A random schedule's recorded seed fully determines it: rebuilding
+    the schedule from the seed reproduces the permutation (the property
+    that makes fuzz failures and worker executions replayable)."""
+    original = RandomSchedule(seed)
+    rebuilt = RandomSchedule(original.seed)
+    assert rebuilt.name == original.name
+    assert rebuilt.permutation(n) == original.permutation(n)
+
+
+@given(st.integers(0, 2**30), st.integers(min_value=0, max_value=64))
+@settings(max_examples=30)
+def test_schedules_survive_pickling(seed, n):
+    """Schedules cross process boundaries as work-unit fields; a pickle
+    round-trip must preserve the permutation exactly."""
+    config = ScheduleConfig.default(seed=seed)
+    for schedule in config.schedules:
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone.name == schedule.name
+        assert clone.permutation(n) == schedule.permutation(n)
