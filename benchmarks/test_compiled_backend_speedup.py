@@ -1,0 +1,103 @@
+"""Compiled execution backend gate over the PLDS + NPB suite.
+
+Two properties of ``--exec-backend compiled``:
+
+* **Zero drift** — with timing injected to zero, the compiled backend's
+  report is byte-for-byte identical to the interpreter's on every
+  benchmark: same verdicts, same provenance, same step counts, same
+  snapshot digests, same JSON.  This runs at the default schedule
+  preset.
+* **Wall speedup** — the whole-suite analyze pipeline must run at least
+  2.5x faster single-process under the compiled backend.  The timed
+  configuration is replay-rich (identity + reverse + 16 random
+  schedules) and skips the static pre-filter: the backend's design
+  point is compiling each module once and amortizing it across many
+  schedule replays (paper §IV-B runs one execution per schedule), so
+  the gate measures the pipeline in its replay-bound regime rather
+  than one dominated by the shared observer-based profiling stage.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import format_table
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.core import DcaAnalyzer
+from repro.core.schedules import ScheduleConfig
+
+MIN_SPEEDUP = 2.5
+#: Testing schedules for the timed gate: identity + reverse + 16 randoms.
+GATE_RANDOM_SCHEDULES = 16
+
+
+def _zero():
+    return 0.0
+
+
+def _analyze_suite(exec_backend=None, clock=None, schedules=None,
+                   static_filter=True):
+    reports = {}
+    for bench in ALL_BENCHMARKS:
+        analyzer = DcaAnalyzer(
+            bench.compile(fresh=True),
+            rtol=bench.rtol,
+            liveout_policy=bench.liveout_policy,
+            clock=clock,
+            static_filter=static_filter,
+            exec_backend=exec_backend,
+            schedules=schedules,
+        )
+        reports[bench.name] = analyzer.analyze()
+    return reports
+
+
+def test_compiled_backend_zero_drift(capsys):
+    interp = _analyze_suite(exec_backend="interp", clock=_zero)
+    compiled = _analyze_suite(exec_backend="compiled", clock=_zero)
+    rows = []
+    for name, report in interp.items():
+        other = compiled[name]
+        drift = "identical" if report.to_json() == other.to_json() else "DRIFT"
+        rows.append((name, len(report.results), report.schedule_executions, drift))
+    with capsys.disabled():
+        print("\n== Exec backend: interp vs compiled ==")
+        print(format_table(("Benchmark", "loops", "executions", "report"), rows))
+    drifted = [name for name, *_, drift in rows if drift != "identical"]
+    assert not drifted, f"compiled backend drifted on: {drifted}"
+
+
+def test_compiled_backend_wall_speedup(capsys):
+    def gate_config():
+        return ScheduleConfig.default(n_random=GATE_RANDOM_SCHEDULES)
+
+    # Warm both paths (pyc, analysis caches) before timing.
+    _analyze_suite(exec_backend="compiled", clock=_zero)
+
+    start = time.perf_counter()
+    _analyze_suite(
+        exec_backend="interp", clock=_zero, schedules=gate_config(),
+        static_filter=False,
+    )
+    interp_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _analyze_suite(
+        exec_backend="compiled", clock=_zero, schedules=gate_config(),
+        static_filter=False,
+    )
+    compiled_s = time.perf_counter() - start
+
+    speedup = interp_s / compiled_s if compiled_s else float("inf")
+    with capsys.disabled():
+        print(
+            "\n== Compiled backend wall speedup: interp %.2fs / compiled %.2fs "
+            "= %.2fx (gate %.1fx, %d testing schedules) =="
+            % (interp_s, compiled_s, speedup, MIN_SPEEDUP,
+               2 + GATE_RANDOM_SCHEDULES)
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"--exec-backend compiled delivered only {speedup:.2f}x over the "
+        f"suite (interp {interp_s:.2f}s, compiled {compiled_s:.2f}s)"
+    )

@@ -60,58 +60,87 @@ class ReachingDefs:
         func = self.func
         # Parameters count as definitions at a pseudo-site ("", -1).
         param_site: Site = ("", -1)
-        gen_block: Dict[str, Dict[Reg, Site]] = {}
-        kill_regs: Dict[str, Set[Reg]] = {}
 
+        # Enumerate every definition once; the fixpoint then runs on
+        # integer bitmasks (bit i <-> defs_list[i]) so that union,
+        # survivor filtering, and the changed test are single C-level
+        # int operations instead of per-element set algebra.
+        defs_list: List[Tuple[Reg, Site]] = []
+        bit_of: Dict[Tuple[Reg, Site], int] = {}
+
+        def _bit(reg: Reg, site: Site) -> int:
+            key = (reg, site)
+            b = bit_of.get(key)
+            if b is None:
+                b = bit_of[key] = 1 << len(defs_list)
+                defs_list.append(key)
+            return b
+
+        entry_bits = 0
         for reg in func.param_regs():
             self.def_sites.setdefault(reg, set()).add(param_site)
+            entry_bits |= _bit(reg, param_site)
 
+        gen_block: Dict[str, Dict[Reg, Site]] = {}
+        kill_regs: Dict[str, Set[Reg]] = {}
         for block in func.ordered_blocks():
             gen: Dict[Reg, Site] = {}
             kills: Set[Reg] = set()
             for idx, instr in enumerate(block.instrs):
                 for reg in instr.defs():
-                    gen[reg] = (block.name, idx)
+                    site = (block.name, idx)
+                    gen[reg] = site
                     kills.add(reg)
-                    self.def_sites.setdefault(reg, set()).add((block.name, idx))
+                    self.def_sites.setdefault(reg, set()).add(site)
+                    _bit(reg, site)
             gen_block[block.name] = gen
             kill_regs[block.name] = kills
 
-        # IN/OUT sets of DefSite objects per block.
-        in_sets: Dict[str, Set[DefSite]] = {n: set() for n in func.block_order}
-        out_sets: Dict[str, Set[DefSite]] = {n: set() for n in func.block_order}
-        entry_defs = {DefSite(param_site, reg) for reg in func.param_regs()}
+        # A def of ``reg`` kills every def of ``reg``.
+        reg_mask: Dict[Reg, int] = {}
+        for (reg, site), b in bit_of.items():
+            reg_mask[reg] = reg_mask.get(reg, 0) | b
+
+        gen_mask = {
+            name: sum(bit_of[(reg, site)] for reg, site in gen.items())
+            for name, gen in gen_block.items()
+        }
+        keep_mask = {}
+        for name, kills in kill_regs.items():
+            km = 0
+            for reg in kills:
+                km |= reg_mask[reg]
+            keep_mask[name] = ~km
+
+        in_bits = {n: 0 for n in func.block_order}
+        out_bits = {n: 0 for n in func.block_order}
         preds = func.predecessors()
+        entry = func.entry
 
         changed = True
         while changed:
             changed = False
             for name in func.block_order:
-                if name == func.entry:
-                    in_set = set(entry_defs)
-                else:
-                    in_set = set()
+                ib = entry_bits if name == entry else 0
                 for p in preds[name]:
-                    in_set |= out_sets[p]
-                if in_set != in_sets[name]:
-                    in_sets[name] = in_set
+                    ib |= out_bits[p]
+                if ib != in_bits[name]:
+                    in_bits[name] = ib
                     changed = True
-                survivors = {
-                    d for d in in_set if d.reg not in kill_regs[name]
-                }
-                gen_set = {
-                    DefSite(site, reg) for reg, site in gen_block[name].items()
-                }
-                out_set = survivors | gen_set
-                if out_set != out_sets[name]:
-                    out_sets[name] = out_set
+                ob = (ib & keep_mask[name]) | gen_mask[name]
+                if ob != out_bits[name]:
+                    out_bits[name] = ob
                     changed = True
 
         # Walk each block once more to record per-use reaching sets.
         for block in func.ordered_blocks():
             current: Dict[Reg, Set[Site]] = {}
-            for d in in_sets[block.name]:
-                current.setdefault(d.reg, set()).add(d.site)
+            bits = in_bits[block.name]
+            while bits:
+                low = bits & -bits
+                reg, site = defs_list[low.bit_length() - 1]
+                current.setdefault(reg, set()).add(site)
+                bits ^= low
             for idx, instr in enumerate(block.instrs):
                 site = (block.name, idx)
                 for reg in instr.uses():

@@ -80,11 +80,25 @@ class SiteRegistry:
     def innermost_site_in_loop(
         self, chain: Tuple[int, ...], label: str
     ) -> Optional[Site]:
-        """Deepest element of an attribution chain lying inside ``label``."""
+        """Deepest element of an attribution chain lying inside ``label``.
+
+        Memoized: the same static chains recur once per iteration, so
+        the scan runs once per distinct ``(chain, label)`` pair.
+        """
+        key = (chain, label)
+        try:
+            return self._innermost_cache[key]
+        except KeyError:
+            pass
+        except AttributeError:
+            self._innermost_cache = {}
+        site = None
         for instr_id in reversed(chain):
             if label in self.loops_of.get(instr_id, ()):
-                return self.site_of[instr_id]
-        return None
+                site = self.site_of[instr_id]
+                break
+        self._innermost_cache[key] = site
+        return site
 
 
 @dataclass
@@ -145,24 +159,42 @@ class DynamicDepProfiler(Observer):
         #: Highest trip count observed per loop label (across invocations).
         self.max_trips: Dict[str, int] = {}
         self.interp = None  # set by attach()
+        #: Incremental mirror of the interpreter's loop stack, rebuilt on
+        #: loop events (rare) so per-access snapshots (hot) reuse it.
+        self._lstack: List[Tuple[str, int, int]] = []
+        self._loops_snap: Tuple[Tuple[str, int, int], ...] = ()
+        #: Call-chain prefix cached against interp.call_stack_version.
+        self._chain_base: Tuple[int, ...] = ()
+        self._chain_version = -1
 
     def on_loop_enter(self, label: str, invocation: int) -> None:
         self.executed.add(label)
         self.max_trips.setdefault(label, 0)
+        self._lstack.append((label, invocation, 0))
+        self._loops_snap = tuple(self._lstack)
 
     def on_loop_iteration(self, label: str, invocation: int, iteration: int) -> None:
         if iteration > self.max_trips.get(label, 0):
             self.max_trips[label] = iteration
+        self._lstack[-1] = (label, invocation, iteration)
+        self._loops_snap = tuple(self._lstack)
+
+    def on_loop_exit(self, label: str, invocation: int) -> None:
+        if self._lstack:
+            self._lstack.pop()
+        self._loops_snap = tuple(self._lstack)
 
     # -- event handlers ---------------------------------------------------------
 
     def _snapshot(self, instr: Instr) -> _Access:
         interp = self.interp
-        chain = tuple(id(c) for c in interp.call_stack) + (id(instr),)
-        loops = tuple(
-            (ctx.label, ctx.invocation, ctx.iteration) for ctx in interp.loop_stack
+        version = interp.call_stack_version
+        if version != self._chain_version:
+            self._chain_base = tuple([id(c) for c in interp.call_stack])
+            self._chain_version = version
+        return _Access(
+            chain=self._chain_base + (id(instr),), loops=self._loops_snap
         )
-        return _Access(chain=chain, loops=loops)
 
     def on_read(self, loc, instr) -> None:
         access = self._snapshot(instr)

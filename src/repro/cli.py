@@ -14,7 +14,9 @@ strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze),
 ``--json`` (machine-readable reports), ``--no-static-filter`` (disable
 the static pre-screen and run every loop dynamically), ``--backend
 serial|process`` / ``--jobs N`` (fan schedule executions out to worker
-processes; ``--jobs N`` alone implies the process backend).
+processes; ``--jobs N`` alone implies the process backend),
+``--exec-backend interp|compiled`` (closure-compile observer-free
+executions instead of tree-walking them; env ``REPRO_EXEC_BACKEND``).
 
 Observability: ``profile`` runs with full tracing and accepts ``--trace
 out.json`` (Chrome trace-event JSON for ``chrome://tracing``),
@@ -39,7 +41,9 @@ def _read(path: str) -> str:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result, out = run_program(_read(args.program), entry=args.entry)
+    result, out = run_program(
+        _read(args.program), entry=args.entry, exec_backend=args.exec_backend
+    )
     sys.stdout.write(out)
     if result is not None:
         print(f"[exit value: {result}]")
@@ -106,6 +110,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             static_filter=not args.no_static_filter,
             backend=args.backend,
             jobs=args.jobs,
+            exec_backend=args.exec_backend,
         )
         report = analyzer.analyze()
     finally:
@@ -157,6 +162,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
             static_filter=not args.no_static_filter,
             backend=args.backend,
             jobs=args.jobs,
+            exec_backend=args.exec_backend,
         ).analyze()
         ctx = build_context(compile_program(source), entry=args.entry)
         detectors = [
@@ -235,6 +241,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             static_filter=not args.no_static_filter,
             backend=args.backend,
             jobs=args.jobs,
+            exec_backend=args.exec_backend,
         )
         print(f"== pipeline profile: {args.program} ==")
         print(report.cost_summary())
@@ -293,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("program", help="MiniC source file")
         p.add_argument("--entry", default="main")
 
+    def exec_backend_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--exec-backend", choices=("interp", "compiled"),
+                       default=None, dest="exec_backend",
+                       help="execution backend for observer-free runs: "
+                            "tree-walking interpreter or closure-compiled "
+                            "(default: interp, or REPRO_EXEC_BACKEND)")
+
     def engine_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", choices=("serial", "process"), default=None,
                        help="schedule-execution backend (default: serial, or "
@@ -300,9 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes for the process backend "
                             "(default: all cores, or REPRO_SCHEDULE_JOBS)")
+        exec_backend_flag(p)
 
     p_run = sub.add_parser("run", help="compile and execute a program")
     common(p_run)
+    exec_backend_flag(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_ir = sub.add_parser("ir", help="dump the compiled IR")

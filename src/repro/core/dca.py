@@ -37,7 +37,7 @@ from repro.analysis.commutativity import (
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.purity import EffectAnalysis
-from repro.core.liveout import capture
+from repro.core.liveout import capture, snapshot_digest
 from repro.core.instrument import (
     VerifySpec,
     build_observe_module,
@@ -73,6 +73,7 @@ from repro.core.schedule_engine import (
     outcome_fails,
 )
 from repro.core.schedules import IdentitySchedule, ScheduleConfig
+from repro.interp.compiler import create_executor, resolve_exec_backend
 from repro.interp.interpreter import Interpreter
 from repro.ir.function import Module
 
@@ -96,6 +97,7 @@ class DcaAnalyzer:
         jobs: Optional[int] = None,
         engine: Optional[ScheduleEngine] = None,
         fault_injection: Optional[Dict[Tuple[str, str], str]] = None,
+        exec_backend: Optional[str] = None,
     ):
         self.module = module
         self.entry = entry
@@ -132,6 +134,13 @@ class DcaAnalyzer:
         #: the ``REPRO_SCHEDULE_BACKEND`` / ``REPRO_SCHEDULE_JOBS``
         #: environment fallbacks).
         self._engine = engine or create_engine(backend, jobs, clock=clock)
+        #: Execution backend for observer-free runs (golden run, schedule
+        #: replays): ``interp`` or ``compiled`` (closure compilation; see
+        #: :mod:`repro.interp.compiler` and the ``REPRO_EXEC_BACKEND``
+        #: environment fallback).  Observer-bearing executions — the
+        #: dynamic-dependence profiling run, and everything when the
+        #: observability context is enabled — always use the interpreter.
+        self.exec_backend = resolve_exec_backend(exec_backend)
         #: Testing hook: ``{(loop label, schedule name): fault style}``
         #: fires the named fault inside that schedule's execution.
         self.fault_injection = dict(fault_injection or {})
@@ -286,14 +295,25 @@ class DcaAnalyzer:
             golden_rt = DcaRuntime(
                 specs, capture_snapshots=(self.liveout_policy == "strict")
             )
-            interp = Interpreter(
-                observe, runtime=golden_rt, max_steps=self.max_steps
+            interp = create_executor(
+                observe,
+                runtime=golden_rt,
+                max_steps=self.max_steps,
+                exec_backend=self.exec_backend,
+                obs_enabled=self._obs.enabled,
             )
             entry_result = interp.run(self.entry, self.args)
             report.executions += 1
             report.interp_instructions += interp.steps
             self._absorb_runtime(report, golden_rt)
         golden = golden_rt.snapshots
+        # Prepay golden digests: every test execution digests its own
+        # snapshots anyway (snapshot_content_digest), so rt_verify can
+        # compare content digests first and fall back to the
+        # rtol-tolerant structural comparison only when they differ.
+        for snaps in golden.values():
+            for snap in snaps:
+                snapshot_digest(snap)
         self._golden_outcome = self._program_outcome(interp, entry_result)
         self._golden_counts = {
             label: golden_rt.invocation_count(label) for label in testable
@@ -310,6 +330,7 @@ class DcaAnalyzer:
         with self._stage(report, "dynamic"):
             report.backend = self._engine.name
             report.jobs = self._engine.jobs
+            report.exec_backend = self.exec_backend
             n_schedules = 1 + len(self.schedules.testing_schedules())
             plans: List[LoopPlan] = []
             for label in testable:
@@ -436,6 +457,7 @@ class DcaAnalyzer:
                     inject_fault=self.fault_injection.get(
                         (label, schedule.name)
                     ),
+                    exec_backend=self.exec_backend,
                 )
             )
         return plan

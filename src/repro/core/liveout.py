@@ -16,10 +16,18 @@ from __future__ import annotations
 
 import hashlib
 import math
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.interp.values import ArrayObj, StructObj
+from repro.lang.types import BoolType, FloatType, IntType
+
+#: Array element types whose values can never be heap references.  An
+#: array of these snapshots as a plain copy of its data — no per-element
+#: reference scan (the type checker and IR verifier guarantee a
+#: scalar-typed array holds only scalars).
+_SCALAR_TYPES = (IntType, FloatType, BoolType)
 
 #: Canonical scalar or reference-placeholder in a snapshot.
 SnapValue = object
@@ -55,7 +63,10 @@ def capture(roots: Sequence[object]) -> Snapshot:
     order: List[object] = []
 
     def visit(value: object) -> SnapValue:
-        if isinstance(value, (StructObj, ArrayObj)):
+        # Exact-type test, not isinstance: scalars dominate and the heap
+        # classes are never subclassed.
+        cls = value.__class__
+        if cls is StructObj or cls is ArrayObj:
             key = id(value)
             if key not in ids:
                 ids[key] = len(order)
@@ -67,17 +78,46 @@ def capture(roots: Sequence[object]) -> Snapshot:
 
     root_vals = tuple(visit(v) for v in roots)
 
-    # Breadth of traversal: order grows as we scan objects.
+    # Breadth of traversal: order grows as we scan objects.  The per-value
+    # body of ``visit`` is inlined here — snapshotting touches every live
+    # heap slot of every invocation, and the closure call per scalar is
+    # the single largest capture cost.
     described: List[Tuple] = []
     i = 0
     while i < len(order):
         obj = order[i]
-        if isinstance(obj, StructObj):
-            fields = tuple(visit(v) for v in obj.fields.values())
-            described.append(("struct", obj.struct_name, fields))
+        if obj.__class__ is StructObj:
+            row: List[SnapValue] = []
+            for v in obj.fields.values():
+                cls = v.__class__
+                if cls is StructObj or cls is ArrayObj:
+                    key = id(v)
+                    ix = ids.get(key)
+                    if ix is None:
+                        ix = ids[key] = len(order)
+                        order.append(v)
+                    row.append(("ref", ix))
+                else:
+                    row.append(v)
+            described.append(("struct", obj.struct_name, tuple(row)))
+        elif isinstance(obj.elem_type, _SCALAR_TYPES):
+            # Scalar-typed arrays cannot hold references: copy the data
+            # wholesale instead of visiting element by element.
+            described.append(("array", tuple(obj.data)))
         else:
-            elems = tuple(visit(v) for v in obj.data)
-            described.append(("array", elems))
+            row = []
+            for v in obj.data:
+                cls = v.__class__
+                if cls is StructObj or cls is ArrayObj:
+                    key = id(v)
+                    ix = ids.get(key)
+                    if ix is None:
+                        ix = ids[key] = len(order)
+                        order.append(v)
+                    row.append(("ref", ix))
+                else:
+                    row.append(v)
+            described.append(("array", tuple(row)))
         i += 1
     return Snapshot(roots=root_vals, objects=tuple(described))
 
@@ -92,11 +132,25 @@ def snapshot_digest(snapshot: Snapshot) -> str:
     :func:`snapshots_equal`, which tolerates float roundoff — digests are
     for cheap cross-process identity checks and mismatch reports, never a
     substitute for the rtol comparison.
+
+    The digest is memoized on the snapshot: golden snapshots get
+    re-digested by every schedule's ``snapshot_content_digest()`` and by
+    every mismatch report, and a frozen ``Snapshot`` never changes, so
+    the sha256 is computed once.  (``object.__setattr__`` bypasses the
+    frozen-dataclass guard; ``_digest`` is not a field, so equality,
+    hashing and pickling are unaffected.)
     """
-    h = hashlib.sha256()
-    h.update(repr(snapshot.roots).encode("utf-8"))
-    h.update(repr(snapshot.objects).encode("utf-8"))
-    return h.hexdigest()
+    cached = snapshot.__dict__.get("_digest")
+    if cached is not None:
+        return cached
+    # Fixed protocol: digests must agree across the coordinator and its
+    # worker processes.  Pickle serializes the canonical tuples much
+    # faster than repr and distinguishes everything repr did (bool vs
+    # int, -0.0, float precision).
+    payload = pickle.dumps((snapshot.roots, snapshot.objects), protocol=4)
+    hexd = hashlib.sha256(payload).hexdigest()
+    object.__setattr__(snapshot, "_digest", hexd)
+    return hexd
 
 
 def _values_equal(a: SnapValue, b: SnapValue, rtol: float) -> bool:
@@ -112,26 +166,39 @@ def _values_equal(a: SnapValue, b: SnapValue, rtol: float) -> bool:
     return a == b
 
 
+def _rows_equal(ra: Tuple, rb: Tuple, rtol: float) -> bool:
+    """Elementwise value comparison with a same-type exact fast path.
+
+    ``type(va) is type(vb) and va == vb`` short-circuits without semantic
+    drift: same-type exact equality satisfies every `_values_equal` rule
+    (bools only match bools, exactly-equal floats pass any rtol, ref
+    placeholders compare structurally).  Only genuinely different — or
+    float-within-tolerance — values take the slow path.
+    """
+    if len(ra) != len(rb):
+        return False
+    for va, vb in zip(ra, rb):
+        if va is vb or (type(va) is type(vb) and va == vb):
+            continue
+        if not _values_equal(va, vb, rtol):
+            return False
+    return True
+
+
 def snapshots_equal(a: Snapshot, b: Snapshot, rtol: float = 1e-9) -> bool:
     """Structural equality with float tolerance."""
     if len(a.roots) != len(b.roots) or len(a.objects) != len(b.objects):
         return False
-    for va, vb in zip(a.roots, b.roots):
-        if not _values_equal(va, vb, rtol):
-            return False
+    if not _rows_equal(a.roots, b.roots, rtol):
+        return False
     for oa, ob in zip(a.objects, b.objects):
         if oa[0] != ob[0]:
             return False
         if oa[0] == "struct":
-            if oa[1] != ob[1] or len(oa[2]) != len(ob[2]):
+            if oa[1] != ob[1]:
                 return False
-            for va, vb in zip(oa[2], ob[2]):
-                if not _values_equal(va, vb, rtol):
-                    return False
-        else:
-            if len(oa[1]) != len(ob[1]):
+            if not _rows_equal(oa[2], ob[2], rtol):
                 return False
-            for va, vb in zip(oa[1], ob[1]):
-                if not _values_equal(va, vb, rtol):
-                    return False
+        elif not _rows_equal(oa[1], ob[1], rtol):
+            return False
     return True

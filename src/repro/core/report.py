@@ -192,6 +192,10 @@ class DcaReport:
     #: across backends, and these fields would break that.
     backend: str = "serial"
     jobs: int = 1
+    #: Which execution backend ran the observer-free executions
+    #: (``interp`` or ``compiled``).  Same contract: never serialized —
+    #: compiled and interpreted reports must stay byte-identical.
+    exec_backend: str = "interp"
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]

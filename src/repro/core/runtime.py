@@ -64,6 +64,11 @@ class Violation:
 class DcaRuntime(RuntimeHooks):
     """Runtime state for one observed or commutativity-testing execution."""
 
+    #: ``handle_intrinsic`` below is a pure name dispatch, so the
+    #: compiled backend may call ``_get``/``_next``/``_record``/
+    #: ``_permute``/``_verify`` directly (see RuntimeHooks).
+    fast_intrinsics = True
+
     def __init__(
         self,
         specs: Dict[str, VerifySpec],
@@ -104,24 +109,36 @@ class DcaRuntime(RuntimeHooks):
         #: mismatch time (never holds snapshots — safe to pickle back
         #: from worker processes).
         self._mismatch_report: Optional[Dict[str, object]] = None
+        #: Memoized ``Schedule.permutation(n)`` results keyed by
+        #: ``(schedule.name, n)``: re-entrant loops with equal trip
+        #: counts would otherwise recompute the identical Fisher-Yates
+        #: shuffle per invocation.  Safe to share the list — ``order``
+        #: is only ever indexed, never mutated.
+        self._perm_cache: Dict[Tuple[str, int], List[int]] = {}
         self._obs = obs.current()
+        #: Cached ``self._obs.enabled``: the runtime binds its obs context
+        #: once at construction, so the flag is fixed for its lifetime and
+        #: the per-iteration intrinsics can test a plain bool.
+        self._obs_enabled = self._obs.enabled
 
     # -- intrinsic dispatch -----------------------------------------------------
 
     def handle_intrinsic(
         self, interp: Interpreter, name: str, args: List[object]
     ) -> object:
+        # Hot-first dispatch: rt_iterator_get/next/record fire once (or
+        # more) per loop iteration; permute/verify once per invocation.
         label = args[0]
+        if name == RT_GET:
+            return self._get(label, args[1])
+        if name == RT_NEXT:
+            return self._next(label)
         if name == RT_RECORD:
             self._record(label, tuple(args[1:]))
             return None
         if name == RT_PERMUTE:
             self._permute(label)
             return None
-        if name == RT_NEXT:
-            return self._next(label)
-        if name == RT_GET:
-            return self._get(label, args[1])
         if name == RT_VERIFY:
             self._verify(interp, label, args[1:])
             return None
@@ -137,7 +154,7 @@ class DcaRuntime(RuntimeHooks):
         if not stack or stack[-1].phase != "recording":
             stack.append(_Invocation())
         stack[-1].buffer.append(values)
-        if self._obs.enabled:
+        if self._obs_enabled:
             self._obs.metrics.counter("dca.iterations_recorded").inc()
 
     def _permute(self, label: str) -> None:
@@ -148,7 +165,13 @@ class DcaRuntime(RuntimeHooks):
             stack.append(_Invocation())
         inv = stack[-1]
         inv.phase = "iterating"
-        inv.order = self.schedule.permutation(len(inv.buffer))
+        key = (self.schedule.name, len(inv.buffer))
+        order = self._perm_cache.get(key)
+        if order is None:
+            order = self._perm_cache[key] = self.schedule.permutation(
+                len(inv.buffer)
+            )
+        inv.order = order
         inv.pos = -1
         if self._obs.enabled:
             self._obs.metrics.counter("dca.permutes").inc()
@@ -157,7 +180,7 @@ class DcaRuntime(RuntimeHooks):
             )
 
     def _top(self, label: str) -> _Invocation:
-        stack = self._stack(label)
+        stack = self._active.get(label)
         if not stack:
             raise MiniCRuntimeError(f"no active DCA invocation for {label}")
         return stack[-1]
@@ -204,9 +227,21 @@ class DcaRuntime(RuntimeHooks):
             if self._obs.enabled:
                 self._obs.metrics.counter("dca.verify.comparisons").inc()
             reference = self.golden.get(label, [])
-            ok = index < len(reference) and snapshots_equal(
-                reference[index], snap, rtol=self.rtol
-            )
+            if index < len(reference):
+                ref = reference[index]
+                # Digest-first: when the golden snapshot's content digest
+                # is already cached (the analyzer prepays it), compare it
+                # against this snapshot's digest — which the end-of-run
+                # snapshot_content_digest() needs anyway, so the hash is
+                # prepaid, not extra.  Equal digests imply equal content;
+                # differing digests still get the rtol-tolerant
+                # structural comparison (float roundoff).
+                refd = ref.__dict__.get("_digest")
+                ok = (
+                    refd is not None and refd == snapshot_digest(snap)
+                ) or snapshots_equal(ref, snap, rtol=self.rtol)
+            else:
+                ok = False
             if not ok:
                 # All bookkeeping for the completed snapshot happens
                 # before the fail-fast abort: a mismatch must not lose

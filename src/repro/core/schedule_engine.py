@@ -64,6 +64,12 @@ from repro.core.instrument import VerifySpec
 from repro.core.liveout import Snapshot, capture, snapshots_equal
 from repro.core.runtime import CommutativityMismatch, DcaRuntime
 from repro.core.schedules import Schedule
+from repro.interp.compiler import (
+    CompiledExecutor,
+    CompiledProgram,
+    CompileError,
+    compile_module,
+)
 from repro.interp.interpreter import Interpreter
 from repro.interp.values import MiniCRuntimeError
 
@@ -158,6 +164,10 @@ class ScheduleTask:
     obs_enabled: bool = False
     #: Testing hook: one of :data:`FAULT_STYLES`, fired before execution.
     inject_fault: Optional[str] = None
+    #: Execution backend: ``interp`` (tree-walking) or ``compiled``
+    #: (closure-compiled; falls back to interp whenever observability is
+    #: enabled — compiled execution records no per-run obs metrics).
+    exec_backend: str = "interp"
 
     @property
     def schedule_name(self) -> str:
@@ -247,6 +257,29 @@ def cancelled_outcome(task: ScheduleTask) -> ScheduleOutcome:
 # Task execution (shared by both backends)
 # ---------------------------------------------------------------------------
 
+#: Per-process cache of closure-compiled modules keyed by the pickled
+#: module blob.  The same instrumented module executes once per schedule
+#: (and, under ``--backend process``, once per worker × schedule), but
+#: the blob bytes are shared/identical across all of a loop's tasks — so
+#: each worker process compiles (and unpickles) a test module exactly
+#: once and replays the compiled program across every ScheduleTask that
+#: ships the same blob.  Insertion-ordered with FIFO eviction: analyses
+#: sweep loop by loop, so the working set is tiny and recency tracking
+#: would buy nothing.
+_COMPILED_BLOB_CACHE: Dict[bytes, CompiledProgram] = {}
+_COMPILED_BLOB_CACHE_MAX = 128
+
+
+def _compiled_for_blob(module_blob: bytes) -> CompiledProgram:
+    """Unpickle + closure-compile a module blob, cached per process."""
+    program = _COMPILED_BLOB_CACHE.get(module_blob)
+    if program is None:
+        program = compile_module(pickle.loads(module_blob))
+        while len(_COMPILED_BLOB_CACHE) >= _COMPILED_BLOB_CACHE_MAX:
+            _COMPILED_BLOB_CACHE.pop(next(iter(_COMPILED_BLOB_CACHE)))
+        _COMPILED_BLOB_CACHE[module_blob] = program
+    return program
+
 
 def execute_task(
     task: ScheduleTask,
@@ -272,7 +305,6 @@ def execute_task(
         label=task.label, schedule_name=task.schedule_name, index=task.index
     )
     strict = task.liveout_policy == "strict"
-    module = pickle.loads(task.module_blob)
     runtime = DcaRuntime(
         specs={task.label: task.spec},
         schedule=task.schedule,
@@ -281,7 +313,21 @@ def execute_task(
         fail_fast=True,
         capture_snapshots=strict,
     )
-    interp = Interpreter(module, runtime=runtime, max_steps=task.max_steps)
+    interp = None
+    if task.exec_backend == "compiled" and not obs_ctx.enabled:
+        # Compiled replays reuse the per-process program cache; the
+        # executor itself is fresh per task (own heap/globals/output).
+        try:
+            interp = CompiledExecutor(
+                _compiled_for_blob(task.module_blob),
+                runtime=runtime,
+                max_steps=task.max_steps,
+            )
+        except CompileError:
+            interp = None
+    if interp is None:
+        module = pickle.loads(task.module_blob)
+        interp = Interpreter(module, runtime=runtime, max_steps=task.max_steps)
     mismatch = False
     fault = False
     start = clock()

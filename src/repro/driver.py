@@ -36,18 +36,24 @@ def run_program(
     entry: str = "main",
     args: Optional[List[object]] = None,
     max_steps: Optional[int] = None,
+    exec_backend: Optional[str] = None,
 ) -> Tuple[object, str]:
     """Compile (if needed) and execute a program.
 
-    Returns ``(return_value, captured_stdout)``.
+    Returns ``(return_value, captured_stdout)``.  ``exec_backend``
+    selects tree-walking interpretation (``interp``, the default) or the
+    closure-compiled backend (``compiled``); falls back to the
+    ``REPRO_EXEC_BACKEND`` environment variable.
     """
-    from repro.interp.interpreter import Interpreter
+    from repro.interp.compiler import create_executor
 
     if isinstance(source_or_module, Module):
         module = source_or_module
     else:
         module = compile_program(source_or_module)
-    interp = Interpreter(module, max_steps=max_steps)
+    interp = create_executor(
+        module, max_steps=max_steps, exec_backend=exec_backend
+    )
     result = interp.run(entry, args or [])
     return result, interp.output_text()
 
@@ -62,6 +68,7 @@ def profile_program(
     max_steps: Optional[int] = None,
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
+    exec_backend: Optional[str] = None,
 ):
     """Run the full DCA pipeline with observability enabled.
 
@@ -93,6 +100,7 @@ def profile_program(
         max_steps=max_steps,
         backend=backend,
         jobs=jobs,
+        exec_backend=exec_backend,
     )
     report = analyzer.analyze()
     return report, ctx

@@ -1,5 +1,14 @@
-"""Instrumentable IR interpreter, heap model, events and profiler."""
+"""Instrumentable IR interpreter, heap model, events, profiler, and the
+closure-compiled execution backend."""
 
+from repro.interp.compiler import (
+    CompiledExecutor,
+    CompiledProgram,
+    CompileError,
+    compile_module,
+    create_executor,
+    resolve_exec_backend,
+)
 from repro.interp.events import Location, LoopCtx, Observer
 from repro.interp.interpreter import Interpreter, RuntimeHooks
 from repro.interp.profiler import Profiler
@@ -14,6 +23,9 @@ from repro.interp.values import (
 
 __all__ = [
     "ArrayObj",
+    "CompileError",
+    "CompiledExecutor",
+    "CompiledProgram",
     "Heap",
     "Interpreter",
     "Location",
@@ -23,6 +35,9 @@ __all__ = [
     "Profiler",
     "RuntimeHooks",
     "StructObj",
+    "compile_module",
+    "create_executor",
     "format_value",
+    "resolve_exec_backend",
     "truthy",
 ]

@@ -88,6 +88,14 @@ def _c_mod(a: int, b: int) -> int:
 class RuntimeHooks:
     """Interface for objects receiving ``Intrinsic`` instructions."""
 
+    #: Opt-in contract for the compiled backend: when True, the runtime
+    #: guarantees that ``handle_intrinsic`` for the five ``rt_*`` DCA
+    #: intrinsics is a pure dispatch to ``_get``/``_next``/``_record``/
+    #: ``_permute``/``_verify``, so compiled code may call those methods
+    #: directly and skip the per-call name dispatch.  Hooks that wrap or
+    #: intercept ``handle_intrinsic`` must leave this False.
+    fast_intrinsics = False
+
     def handle_intrinsic(
         self, interp: "Interpreter", name: str, args: List[object]
     ) -> object:
@@ -126,6 +134,10 @@ class Interpreter:
         #: Stack of `Call` instructions currently executing (for access
         #: attribution by dynamic-dependence observers).
         self.call_stack: List[object] = []
+        #: Bumped on every call_stack push/pop (only maintained while
+        #: memory observers are attached) — lets observers cache derived
+        #: views of the stack and invalidate them exactly when it moves.
+        self.call_stack_version = 0
         self._invocations: Dict[str, int] = {}
 
         for obs in self.observers:
@@ -462,10 +474,12 @@ class Interpreter:
         args = [self._value(a, frame) for a in instr.args]
         if self._mem_obs:
             self.call_stack.append(instr)
+            self.call_stack_version += 1
             try:
                 result = self._call_function(instr.func, args)
             finally:
                 self.call_stack.pop()
+                self.call_stack_version += 1
         else:
             result = self._call_function(instr.func, args)
         if instr.dest is not None:

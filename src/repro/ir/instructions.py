@@ -30,6 +30,13 @@ class Reg:
     def __str__(self) -> str:
         return f"%{self.name}"
 
+    def __hash__(self) -> int:
+        # Regs key every dataflow set and def-use map; hashing the name
+        # directly reuses the str object's cached hash instead of the
+        # generated implementation's per-call field tuple.  Consistent
+        # with the generated __eq__: equal iff names are equal.
+        return hash(self.name)
+
 
 @dataclass(frozen=True)
 class Const:

@@ -7,8 +7,9 @@ program:
 
 1. **Backend equality** — the full JSON report (verdicts, provenance,
    reasons, counters, digests) must be byte-identical between the
-   serial and the process backend.  Both run with a zero clock so
-   timing fields cannot differ.
+   serial and the process schedule backends AND between the interpreter
+   and the closure-compiled execution backend (serial and process).
+   All runs use a zero clock so timing fields cannot differ.
 2. **Static agreement** — where the static prover *proves* a verdict,
    the dynamic oracle must not contradict it (same contract as
    ``tests/test_static_commutativity.py``): a commutativity proof is
@@ -107,21 +108,41 @@ def differential_check(
         backend="process",
         jobs=jobs,
     ).analyze()
+    # Exec-backend axis: the closure-compiled backend must reproduce the
+    # interpreter's report byte-for-byte, on both schedule backends.
+    compiled_serial = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial", exec_backend="compiled",
+    ).analyze()
+    compiled_process = DcaAnalyzer(
+        compile_program(source),
+        static_filter=False,
+        clock=_zero,
+        backend="process",
+        jobs=jobs,
+        exec_backend="compiled",
+    ).analyze()
 
-    j_serial, j_process = serial.to_json(), process.to_json()
-    if j_serial != j_process:
-        diff = "\n".join(
-            list(
-                difflib.unified_diff(
-                    j_serial.splitlines(),
-                    j_process.splitlines(),
-                    fromfile="serial",
-                    tofile="process",
-                    lineterm="",
-                )
-            )[:40]
-        )
-        problems.append(f"backend report divergence:\n{diff}")
+    j_serial = serial.to_json()
+    for name, other in (
+        ("process", process),
+        ("compiled-serial", compiled_serial),
+        ("compiled-process", compiled_process),
+    ):
+        j_other = other.to_json()
+        if j_serial != j_other:
+            diff = "\n".join(
+                list(
+                    difflib.unified_diff(
+                        j_serial.splitlines(),
+                        j_other.splitlines(),
+                        fromfile="serial",
+                        tofile=name,
+                        lineterm="",
+                    )
+                )[:40]
+            )
+            problems.append(f"{name} report divergence:\n{diff}")
 
     static = StaticCommutativityAnalysis(compile_program(source)).analyze()
     for label, verdict in static.items():

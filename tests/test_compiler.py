@@ -1,0 +1,312 @@
+"""Closure-compiled execution backend: parity with the interpreter.
+
+The compiled backend's contract is *exact* observable equivalence with
+the tree-walking interpreter — same results, same printed output, same
+step accounting, and byte-identical fault messages.  These tests drive
+both backends over the same programs and compare everything.
+"""
+
+import pytest
+
+from repro.core.dca import DcaAnalyzer
+from repro.core.runtime import DcaRuntime
+from repro.driver import compile_program, run_program
+from repro.interp import (
+    CompileError,
+    CompiledExecutor,
+    Interpreter,
+    MiniCRuntimeError,
+    compile_module,
+    create_executor,
+    resolve_exec_backend,
+)
+from repro.interp.compiler import (
+    EXEC_BACKEND_ENV,
+    _MODULE_CACHE,
+    _MODULE_CACHE_MAX,
+)
+from repro.interp.events import Observer
+from repro.interp.profiler import Profiler
+
+
+def _zero():
+    return 0.0
+
+
+def _run_both(source, entry="main", args=None, max_steps=None):
+    """Run one program under both backends; return (interp, compiled)."""
+    module = compile_program(source)
+    interp = Interpreter(module, max_steps=max_steps)
+    compiled = CompiledExecutor(module, max_steps=max_steps)
+    return module, interp, compiled, entry, list(args or [])
+
+
+def _outcome(executor, entry, args):
+    try:
+        result = executor.run(entry, args)
+        return ("ok", result, executor.output_text(), executor.steps)
+    except MiniCRuntimeError as exc:
+        return ("fault", str(exc), executor.output_text(), executor.steps)
+
+
+def assert_parity(source, entry="main", args=None, max_steps=None):
+    module, interp, compiled, entry, args = _run_both(
+        source, entry, args, max_steps
+    )
+    oi = _outcome(interp, entry, list(args))
+    oc = _outcome(compiled, entry, list(args))
+    assert oi == oc, f"backend divergence:\ninterp   {oi}\ncompiled {oc}"
+    return oi
+
+
+# -- result / output / step parity -------------------------------------------
+
+
+def test_arithmetic_parity():
+    kind, result, out, steps = assert_parity(
+        """
+        func int main() {
+            int acc = 0;
+            for (int i = 0; i < 10; i = i + 1) { acc = acc + i * i; }
+            print(acc, 7 / 2, -7 / 2, 7 % 3, -7 % 3, 1.0 / 4.0);
+            return acc;
+        }
+        """
+    )
+    assert kind == "ok" and result == 285
+
+
+def test_heap_program_parity():
+    assert_parity(
+        """
+        struct Node { int value; Node* next; }
+        func int main() {
+            Node* head = null;
+            for (int i = 0; i < 8; i = i + 1) {
+                Node* n = new Node; n.value = i; n.next = head; head = n;
+            }
+            int total = 0;
+            while (head != null) { total = total + head.value; head = head.next; }
+            int[] a = new int[5];
+            for (int i = 0; i < len(a); i = i + 1) { a[i] = total + i; }
+            print(total, a[0], a[4]);
+            return total;
+        }
+        """
+    )
+
+
+def test_step_counts_identical():
+    src = """
+    func int work(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+        return acc;
+    }
+    func int main() { return work(50) + work(7); }
+    """
+    module, interp, compiled, entry, args = _run_both(src)
+    assert interp.run(entry, args) == compiled.run(entry, args)
+    assert interp.steps == compiled.steps
+
+
+# -- fault parity ------------------------------------------------------------
+
+FAULT_PROGRAMS = [
+    ("null deref read", "struct P { int x; }\nfunc int main() { P* p = null; return p.x; }"),
+    ("null deref write", "struct P { int x; }\nfunc void main() { P* p = null; p.x = 1; }"),
+    ("null array read", "func int main() { int[] a = null; return a[0]; }"),
+    ("null array write", "func void main() { int[] a = null; a[0] = 1; }"),
+    ("oob read", "func int main() { int[] a = new int[3]; return a[3]; }"),
+    ("oob write", "func void main() { int[] a = new int[3]; a[0 - 1] = 9; }"),
+    ("int div by zero", "func int main() { int z = 0; return 1 / z; }"),
+    ("int mod by zero", "func int main() { int z = 0; return 1 % z; }"),
+    ("float div by zero", "func float main() { float z = 0.0; return 1.0 / z; }"),
+    ("len of null", "func int main() { int[] a = null; return len(a); }"),
+    ("negative array length", "func void main() { int n = 0 - 2; int[] a = new int[n]; }"),
+    ("builtin domain error", "func float main() { float x = 0.0 - 1.0; return sqrt(x); }"),
+]
+
+
+@pytest.mark.parametrize(
+    "source", [p[1] for p in FAULT_PROGRAMS], ids=[p[0] for p in FAULT_PROGRAMS]
+)
+def test_fault_message_parity(source):
+    kind, message, _out, _steps = assert_parity(source)
+    assert kind == "fault"
+
+
+def test_fault_messages_include_line_numbers():
+    src = "struct P { int x; }\nfunc int main() { P* p = null;\n    return p.x; }"
+    kind, message, _o, _s = assert_parity(src)
+    assert kind == "fault"
+    assert "null dereference reading .x (line 3)" == message
+
+
+def test_step_limit_parity():
+    src = "func void main() { while (true) { } }"
+    kind, message, _o, steps = assert_parity(src, max_steps=500)
+    assert kind == "fault"
+    assert message == "step limit exceeded"
+
+
+def test_step_limit_fires_at_same_step():
+    src = """
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) { acc = acc + 1; }
+        return acc;
+    }
+    """
+    module = compile_program(src)
+    baseline = Interpreter(module)
+    baseline.run("main", [])
+    # Any budget below the full run must fault at the identical count.
+    for budget in (baseline.steps - 1, baseline.steps // 2, 7):
+        module2, interp, compiled, entry, args = _run_both(
+            src, max_steps=budget
+        )
+        oi = _outcome(interp, entry, [])
+        oc = _outcome(compiled, entry, [])
+        assert oi == oc
+        assert oi[0] == "fault" and oi[1] == "step limit exceeded"
+
+
+def test_missing_entry_and_arity_messages():
+    src = "func int add(int a, int b) { return a + b; }"
+    module = compile_program(src)
+    for make in (lambda: Interpreter(module), lambda: CompiledExecutor(module)):
+        with pytest.raises(MiniCRuntimeError, match=r"no function named 'nope'"):
+            make().run("nope", [])
+        with pytest.raises(MiniCRuntimeError, match=r"add expects 2 args, got 1"):
+            make().run("add", [1])
+    assert Interpreter(module).run("add", [2, 3]) == CompiledExecutor(
+        module
+    ).run("add", [2, 3])
+
+
+def test_intrinsic_without_runtime_message_parity():
+    # Intrinsics only appear in instrumented modules; fabricate one.
+    from repro.core.instrument import build_observe_module, compute_verify_spec
+    from repro.analysis.purity import EffectAnalysis
+
+    src = """
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 4; i = i + 1) { acc = acc + i; }
+        return acc;
+    }
+    """
+    module = compile_program(src)
+    effects = EffectAnalysis(module)
+    label = next(iter(next(iter(module.functions.values())).loops))
+    func = module.functions["main"]
+    specs = {label: compute_verify_spec(module, func, label, effects)}
+    observe = build_observe_module(module, specs)
+    msgs = []
+    for make in (
+        lambda: Interpreter(observe),
+        lambda: CompiledExecutor(observe),
+    ):
+        with pytest.raises(MiniCRuntimeError) as exc:
+            make().run("main", [])
+        msgs.append(str(exc.value))
+    assert msgs[0] == msgs[1]
+    assert "executed without a runtime" in msgs[0]
+
+
+# -- backend selection seam --------------------------------------------------
+
+
+def test_resolve_exec_backend_explicit_env_default(monkeypatch):
+    monkeypatch.delenv(EXEC_BACKEND_ENV, raising=False)
+    assert resolve_exec_backend(None) == "interp"
+    assert resolve_exec_backend("compiled") == "compiled"
+    monkeypatch.setenv(EXEC_BACKEND_ENV, "compiled")
+    assert resolve_exec_backend(None) == "compiled"
+    assert resolve_exec_backend("interp") == "interp"
+    with pytest.raises(ValueError):
+        resolve_exec_backend("jit")
+    monkeypatch.setenv(EXEC_BACKEND_ENV, "bogus")
+    with pytest.raises(ValueError):
+        resolve_exec_backend(None)
+
+
+def test_create_executor_backend_and_fallback():
+    module = compile_program("func int main() { return 41 + 1; }")
+    assert isinstance(create_executor(module, exec_backend="interp"), Interpreter)
+    compiled = create_executor(module, exec_backend="compiled")
+    assert isinstance(compiled, CompiledExecutor)
+    assert compiled.run("main", []) == 42
+    # Observers and profilers force the interpreter.
+    assert isinstance(
+        create_executor(module, observers=[Observer()], exec_backend="compiled"),
+        Interpreter,
+    )
+    assert isinstance(
+        create_executor(module, profiler=Profiler(), exec_backend="compiled"),
+        Interpreter,
+    )
+    assert isinstance(
+        create_executor(module, exec_backend="compiled", obs_enabled=True),
+        Interpreter,
+    )
+
+
+def test_run_program_exec_backend_threading():
+    src = 'func void main() { print("hi", 1 + 1); }'
+    r_interp = run_program(src, exec_backend="interp")
+    r_compiled = run_program(src, exec_backend="compiled")
+    assert r_interp == r_compiled == (None, "hi 2\n")
+
+
+def test_compile_module_is_cached_per_module():
+    module = compile_program("func int main() { return 7; }")
+    assert compile_module(module) is compile_module(module)
+    key = id(module)
+    assert key in _MODULE_CACHE
+    # The LRU is bounded: flooding it with fresh modules evicts ours.
+    keep = []
+    for i in range(_MODULE_CACHE_MAX + 1):
+        other = compile_program(f"func int main() {{ return {i}; }}")
+        keep.append(other)
+        compile_module(other)
+    assert key not in _MODULE_CACHE
+    assert len(_MODULE_CACHE) <= _MODULE_CACHE_MAX
+    # Recompilation after eviction still works and re-caches.
+    assert compile_module(module).functions["main"] is not None
+    assert id(module) in _MODULE_CACHE
+
+
+def test_compiled_analyzer_report_matches_interp():
+    src = """
+    func int main() {
+        int[] data = new int[16];
+        int acc = 0;
+        for (int i = 0; i < len(data); i = i + 1) { data[i] = i * 3; }
+        for (int i = 0; i < len(data); i = i + 1) { acc = acc + data[i]; }
+        print(acc);
+        return acc;
+    }
+    """
+    ri = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="interp",
+    ).analyze()
+    rc = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="compiled",
+    ).analyze()
+    assert ri.to_json() == rc.to_json()
+    # The backend choice is run metadata, never serialized.
+    assert "exec_backend" not in ri.to_json()
+    assert ri.exec_backend == "interp" and rc.exec_backend == "compiled"
+
+
+def test_fast_intrinsics_flag_contract():
+    # DcaRuntime opts into direct intrinsic dispatch; the base hook and
+    # any custom runtime default to the handle_intrinsic path.
+    from repro.interp.interpreter import RuntimeHooks
+
+    assert DcaRuntime.fast_intrinsics is True
+    assert RuntimeHooks.fast_intrinsics is False

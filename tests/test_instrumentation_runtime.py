@@ -187,3 +187,21 @@ def test_capture_disabled_still_counts_invocations():
     Interpreter(observed, runtime=runtime).run()
     assert runtime.invocation_count("main.L0") == 1
     assert "main.L0" not in runtime.snapshots
+
+
+def test_permutation_cache_shared_across_invocations():
+    from repro.core.schedules import RandomSchedule
+
+    rt = DcaRuntime(specs={}, schedule=RandomSchedule(seed=7))
+    for _ in range(2):
+        for i in range(5):
+            rt._record("main.L0", (i,))
+        rt._permute("main.L0")
+    first, second = rt._active["main.L0"]
+    assert first.order is second.order  # one Fisher-Yates per (name, n)
+    assert sorted(first.order) == list(range(5))
+    # A different trip count gets its own permutation.
+    for i in range(3):
+        rt._record("main.L0", (i,))
+    rt._permute("main.L0")
+    assert sorted(rt._active["main.L0"][-1].order) == list(range(3))

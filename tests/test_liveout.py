@@ -126,3 +126,26 @@ def test_any_single_element_change_is_detected(data, idx, delta):
     assert not snapshots_equal(
         capture([make_array(1, data)]), capture([make_array(1, changed)])
     )
+
+
+def test_snapshot_digest_memoized_and_content_based():
+    from repro.core.liveout import snapshot_digest
+
+    a = capture([1, make_array(1, [1, 2, 3])])
+    b = capture([1, make_array(9, [1, 2, 3])])  # same content, new oid
+    da = snapshot_digest(a)
+    assert a.__dict__["_digest"] == da
+    assert snapshot_digest(a) is da  # memoized, not recomputed
+    assert snapshot_digest(b) == da  # canonicalization => content identity
+    c = capture([1, make_array(1, [1, 2, 4])])
+    assert snapshot_digest(c) != da
+
+
+def test_snapshot_digest_does_not_affect_equality():
+    from repro.core.liveout import snapshot_digest
+
+    a = capture([make_node(1, 5)])
+    b = capture([make_node(2, 5)])
+    snapshot_digest(a)  # memoize on one side only
+    assert a == b
+    assert snapshots_equal(a, b)
