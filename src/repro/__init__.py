@@ -15,6 +15,13 @@ analysis and evaluation infrastructure:
     Instrumentable IR interpreter with memory-event tracing and profiling.
 ``repro.core``
     Dynamic Commutativity Analysis — the paper's contribution.
+``repro.api``
+    The embedding facade: frozen ``AnalysisConfig`` + ``AnalysisSession``
+    driving analyze/detect/profile/batch (the CLI is an adapter over it).
+``repro.cache``
+    Persistent content-addressed cache of per-loop dynamic verdicts.
+``repro.batch``
+    Corpus batch driver: many programs, one pool, recorded failures.
 ``repro.baselines``
     The five baseline parallelism detectors evaluated against DCA.
 ``repro.parallel``

@@ -1,0 +1,357 @@
+"""``repro.api`` — the embedding API for the DCA pipeline.
+
+This module is the **single construction point** for analyses: one
+frozen :class:`AnalysisConfig` value object captures every knob the
+pipeline accepts (schedules, seeds, tolerance, live-out policy, static
+filter, schedule/exec backends, jobs, observability, cache policy), and
+one :class:`AnalysisSession` facade drives the four entry points —
+``analyze``, ``detect``, ``profile``, ``batch`` — over it.  The CLI and
+``repro.driver`` are thin adapters on top of this module; scattered
+kwargs and ad-hoc ``REPRO_*`` reads are considered legacy.
+
+**Precedence.**  Explicit config always beats the environment; the
+environment beats defaults.  Concretely (unit-tested in
+``tests/test_api.py``):
+
+* ``backend``/``jobs`` — resolved by
+  :func:`repro.core.schedule_engine.resolve_schedule_backend`: explicit
+  backend, then process implied by explicit ``jobs > 1``, then
+  ``REPRO_SCHEDULE_BACKEND``, then process implied by
+  ``REPRO_SCHEDULE_JOBS > 1``, then serial.
+* ``exec_backend`` — explicit value, then ``REPRO_EXEC_BACKEND``, then
+  the interpreter.
+* ``cache_dir`` — explicit value, then ``REPRO_CACHE_DIR``, then
+  disabled.
+
+**Caching.**  :meth:`AnalysisConfig.fingerprint` is the exact
+config-fingerprint component of the persistent cache key (see
+:mod:`repro.cache.keys`); it covers only verdict-relevant settings, so
+cache entries are shared across schedule backends, job counts, exec
+backends and observability — the same axes report serialization is
+byte-identical across.
+
+Quickstart::
+
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    config = AnalysisConfig(liveout_policy="strict", jobs=4,
+                            cache_dir="~/.cache/repro-dca")
+    with AnalysisSession(config) as session:
+        report = session.analyze(source_text)
+        for loop in report.commutative_loops():
+            print(loop.qualified_name)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.cache import open_cache, resolve_cache_dir
+from repro.cache.keys import config_fingerprint
+from repro.core.dca import DcaAnalyzer
+from repro.core.report import DcaReport
+from repro.core.schedule_engine import resolve_schedule_backend
+from repro.core.schedules import ScheduleConfig
+from repro.interp.compiler import resolve_exec_backend
+from repro.ir.function import Module
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisSession",
+    "DetectOutcome",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Immutable description of one analysis configuration.
+
+    Build variants with :meth:`replace`; equality and hashing follow
+    value semantics, so configs can key dictionaries and memo tables.
+    """
+
+    #: Entry function and its arguments (the workload).
+    entry: str = "main"
+    args: Tuple[object, ...] = ()
+    #: Float tolerance for live-out comparison.
+    rtol: float = 1e-9
+    #: "strict" compares live-outs at every loop exit; "eventual" only
+    #: the final observable outcome.
+    liveout_policy: str = "strict"
+    #: Pre-screen loops with the static commutativity prover.
+    static_filter: bool = True
+    #: Interpreter step budget (None derives one from the golden run).
+    max_steps: Optional[int] = None
+    #: Schedule preset: either an explicit :class:`ScheduleConfig`, or
+    #: the paper's default preset parameterized by these two knobs.
+    schedules: Optional[ScheduleConfig] = None
+    n_random_schedules: int = 2
+    schedule_seed: int = 0xDCA
+    #: Restrict analysis to these loop labels (None analyzes all).
+    candidate_labels: Optional[Tuple[str, ...]] = None
+    #: Schedule-execution backend ("serial"/"process") and worker count;
+    #: None defers to the environment, then the defaults.
+    backend: Optional[str] = None
+    jobs: Optional[int] = None
+    #: Execution backend for observer-free runs ("interp"/"compiled").
+    exec_backend: Optional[str] = None
+    #: Record spans/metrics/events during session operations.
+    obs: bool = False
+    #: Persistent cache directory (None defers to ``REPRO_CACHE_DIR``,
+    #: then disabled) and mode ("rw", "ro", "refresh", or "off").
+    cache_dir: Optional[str] = None
+    cache_mode: str = "rw"
+
+    def __post_init__(self) -> None:
+        if self.liveout_policy not in ("strict", "eventual"):
+            raise ValueError(
+                f"unknown liveout policy {self.liveout_policy!r}"
+            )
+        if self.cache_mode not in ("rw", "ro", "refresh", "off"):
+            raise ValueError(f"unknown cache mode {self.cache_mode!r}")
+        if self.backend not in (None, "serial", "process"):
+            raise ValueError(f"unknown schedule backend {self.backend!r}")
+        if self.exec_backend not in (None, "interp", "compiled"):
+            raise ValueError(f"unknown exec backend {self.exec_backend!r}")
+        # Frozen dataclasses hash by field tuple; normalize silently
+        # mutable aliases so value semantics hold.
+        if isinstance(self.args, list):
+            object.__setattr__(self, "args", tuple(self.args))
+        if isinstance(self.candidate_labels, list):
+            object.__setattr__(
+                self, "candidate_labels", tuple(self.candidate_labels)
+            )
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """A copy of this config with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # -- resolution (explicit > environment > default) --------------------
+
+    def schedule_config(self) -> ScheduleConfig:
+        if self.schedules is not None:
+            return self.schedules
+        return ScheduleConfig.default(
+            n_random=self.n_random_schedules, seed=self.schedule_seed
+        )
+
+    def schedule_names(self) -> List[str]:
+        """Canonical schedule names: identity plus the testing set."""
+        return ["identity"] + [
+            s.name for s in self.schedule_config().testing_schedules()
+        ]
+
+    def resolved_backend(self) -> Tuple[str, Optional[int]]:
+        return resolve_schedule_backend(self.backend, self.jobs)
+
+    def resolved_exec_backend(self) -> str:
+        return resolve_exec_backend(self.exec_backend)
+
+    def resolved_cache_dir(self) -> Optional[str]:
+        if self.cache_mode == "off":
+            return None
+        return resolve_cache_dir(self.cache_dir)
+
+    def fingerprint(self) -> str:
+        """The exact config-fingerprint component of the persistent
+        cache key.  Covers only verdict-relevant settings — backends,
+        jobs, observability and cache policy are excluded, matching the
+        report byte-identity contract across those axes."""
+        return config_fingerprint(
+            self.schedule_names(),
+            rtol=self.rtol,
+            liveout_policy=self.liveout_policy,
+            static_filter=self.static_filter,
+            max_steps=self.max_steps,
+            candidate_labels=self.candidate_labels,
+        )
+
+
+@dataclass
+class DetectOutcome:
+    """Result of :meth:`AnalysisSession.detect`: DCA versus baselines."""
+
+    report: DcaReport
+    #: detector name -> {loop label -> detection result object}.
+    baselines: Dict[str, Dict[str, object]]
+    #: detector name -> cost counters (plus the shared "profile" entry).
+    costs: Dict[str, Dict[str, float]]
+    #: Detector evaluation order (stable for table rendering).
+    detector_names: List[str]
+
+    def baseline_verdicts(self) -> Dict[str, Dict[str, bool]]:
+        return {
+            name: {
+                label: bool(res and res.parallel)
+                for label, res in results.items()
+            }
+            for name, results in self.baselines.items()
+        }
+
+
+class AnalysisSession:
+    """Facade over the whole pipeline for one configuration.
+
+    Owns the persistent cache handle (one connection reused across
+    calls) and constructs every :class:`DcaAnalyzer` the same way —
+    adapters (CLI, driver, batch) should never assemble analyzer kwargs
+    themselves.
+    """
+
+    def __init__(self, config: Optional[AnalysisConfig] = None):
+        self.config = config or AnalysisConfig()
+        self._cache = None
+        self._cache_opened = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def cache(self):
+        """The open :class:`~repro.cache.AnalysisCache`, or None."""
+        if not self._cache_opened:
+            self._cache_opened = True
+            mode = self.config.cache_mode
+            if mode != "off":
+                self._cache = open_cache(
+                    self.config.resolved_cache_dir(), mode=mode
+                )
+        return self._cache
+
+    def close(self) -> None:
+        if self._cache is not None:
+            self._cache.close()
+            self._cache = None
+            self._cache_opened = False
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def compile(self, source: str) -> Module:
+        from repro.driver import compile_program
+
+        return compile_program(source)
+
+    def _prepare(self, program) -> Tuple[Module, Optional[str]]:
+        """(module, source text) for a source-or-module argument."""
+        if isinstance(program, Module):
+            return program, None
+        return self.compile(program), program
+
+    def analyzer(
+        self,
+        module: Module,
+        source_text: Optional[str] = None,
+        source_path: Optional[str] = None,
+    ) -> DcaAnalyzer:
+        """Construct the configured analyzer — the one true assembly of
+        ``DcaAnalyzer`` kwargs from an :class:`AnalysisConfig`."""
+        config = self.config
+        backend, jobs = config.resolved_backend()
+        return DcaAnalyzer(
+            module,
+            entry=config.entry,
+            args=list(config.args),
+            schedules=config.schedule_config(),
+            rtol=config.rtol,
+            max_steps=config.max_steps,
+            candidate_labels=config.candidate_labels,
+            liveout_policy=config.liveout_policy,
+            static_filter=config.static_filter,
+            backend=backend,
+            jobs=jobs,
+            exec_backend=config.resolved_exec_backend(),
+            cache=self.cache,
+            source_text=source_text,
+            source_path=source_path,
+        )
+
+    # -- entry points ------------------------------------------------------
+
+    def analyze(self, program, source_path: Optional[str] = None) -> DcaReport:
+        """Run DCA over a program (source text or compiled module)."""
+        module, source_text = self._prepare(program)
+        return self.analyzer(
+            module, source_text=source_text, source_path=source_path
+        ).analyze()
+
+    def detect(self, program, source_path: Optional[str] = None) -> DetectOutcome:
+        """Run DCA plus the five baseline detectors."""
+        from repro.baselines import (
+            DependenceProfilingDetector,
+            DiscoPopDetector,
+            IccDetector,
+            IdiomsDetector,
+            PollyDetector,
+            build_context,
+        )
+
+        module, source_text = self._prepare(program)
+        report = self.analyzer(
+            module, source_text=source_text, source_path=source_path
+        ).analyze()
+        # Baselines profile the pristine program; give them a private
+        # compile so DCA instrumentation cannot leak into their context.
+        pristine, _ = self._prepare(
+            program if source_text is None else source_text
+        )
+        ctx = build_context(pristine, entry=self.config.entry)
+        detectors = [
+            DependenceProfilingDetector(),
+            DiscoPopDetector(),
+            IdiomsDetector(),
+            PollyDetector(),
+            IccDetector(),
+        ]
+        results = {d.name: d.detect(ctx) for d in detectors}
+        return DetectOutcome(
+            report=report,
+            baselines=results,
+            costs=ctx.costs,
+            detector_names=[d.name for d in detectors],
+        )
+
+    def profile(self, program, source_path: Optional[str] = None):
+        """Run DCA with full observability enabled.
+
+        Returns ``(report, obs_context)``.  If the process-local
+        observability context is not already enabled, a fresh enabled
+        context is installed; the caller owns disabling it.
+        """
+        ctx = obs.current()
+        if not ctx.enabled:
+            ctx = obs.enable()
+        if isinstance(program, Module):
+            module, source_text = program, None
+        else:
+            with ctx.span("repro.compile"):
+                module = self.compile(program)
+            source_text = program
+        report = self.analyzer(
+            module, source_text=source_text, source_path=source_path
+        ).analyze()
+        return report, ctx
+
+    def batch(
+        self,
+        paths: Sequence[str] = (),
+        manifest: Optional[str] = None,
+        on_result=None,
+    ):
+        """Analyze a corpus of programs (see :mod:`repro.batch`).
+
+        ``paths`` mixes program files and directories (scanned for
+        ``*.mc``); ``manifest`` points at a JSON/JSONL program list.
+        ``on_result`` streams per-program outcomes as they complete.
+        Returns a :class:`repro.batch.CorpusResult`.
+        """
+        from repro.batch import run_batch
+
+        return run_batch(
+            self.config, paths=paths, manifest=manifest, on_result=on_result
+        )

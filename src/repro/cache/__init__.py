@@ -1,0 +1,68 @@
+"""``repro.cache`` — persistent, content-addressed analysis cache.
+
+The dynamic stage of DCA is expensive by construction (one golden run
+plus one run per permutation schedule per loop); this package memoizes
+its per-loop verdicts on disk so repeated and corpus-scale analyses are
+incremental.  See :mod:`repro.cache.keys` for the three-component key
+design and :mod:`repro.cache.store` for the sqlite3 store.
+
+Typical use goes through :class:`repro.api.AnalysisSession` (pass
+``cache_dir``) or the CLI (``--cache DIR`` / ``REPRO_CACHE_DIR``, and
+the ``repro cache`` maintenance subcommand)::
+
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    session = AnalysisSession(AnalysisConfig(cache_dir="~/.cache/repro"))
+    report = session.analyze(source)          # cold: populates the cache
+    report = session.analyze(source)          # warm: replays verdicts
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.cache.keys import (
+    SEMANTICS_VERSION,
+    config_fingerprint,
+    fingerprint_description,
+    module_workload_digest,
+)
+from repro.cache.store import (
+    CACHE_DB_NAME,
+    CACHE_DIR_ENV,
+    CACHE_MODES,
+    AnalysisCache,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_DB_NAME",
+    "CACHE_DIR_ENV",
+    "CACHE_MODES",
+    "SEMANTICS_VERSION",
+    "config_fingerprint",
+    "fingerprint_description",
+    "module_workload_digest",
+    "open_cache",
+    "resolve_cache_dir",
+]
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> Optional[str]:
+    """Resolve the cache directory: explicit argument, then the
+    ``REPRO_CACHE_DIR`` environment variable, then disabled (None)."""
+    if cache_dir is not None:
+        return os.path.expanduser(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return os.path.expanduser(env) if env else None
+
+
+def open_cache(
+    cache_dir: Optional[str] = None, mode: str = "rw"
+) -> Optional[AnalysisCache]:
+    """Open the resolved cache directory, or None when caching is off."""
+    resolved = resolve_cache_dir(cache_dir)
+    if resolved is None or mode == "off":
+        return None
+    return AnalysisCache(resolved, mode=mode)

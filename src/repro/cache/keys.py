@@ -1,0 +1,109 @@
+"""Cache key derivation for the persistent analysis cache.
+
+A cached per-loop verdict is addressed by three components:
+
+* **module digest** — a content address of the analyzed *workload*: the
+  canonical printed IR of the module (``repro.ir.printer.format_module``
+  is deterministic: it walks insertion-ordered dicts populated in parse
+  order) plus the entry point and the entry arguments.  Pickle bytes are
+  deliberately *not* used — pickling can traverse hash-ordered
+  containers, and the digest must be stable across processes and
+  ``PYTHONHASHSEED`` values.
+* **loop id** — the stable ``<function>.L<n>`` label assigned by
+  lowering.
+* **config fingerprint** — a digest of every analysis setting that can
+  change a loop's dynamic verdict or its recorded payload: the schedule
+  preset (names encode seeds), ``rtol``, the live-out policy, the step
+  budget, the static-filter switch, the candidate restriction, and the
+  execution-semantics version below.  Settings that the byte-identity
+  contract already excludes from reports (schedule backend, job count,
+  exec backend, observability) are deliberately *not* part of the
+  fingerprint: reports are byte-identical across them, so cache entries
+  are shared across them too.
+
+Any fingerprint change makes old entries unreachable (a miss); the store
+additionally counts such stale-sibling misses as *invalidations* so the
+effect of a config change is visible in ``repro cache stats``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Sequence
+
+from repro.ir.function import Module
+from repro.ir.printer import format_module
+
+__all__ = [
+    "SEMANTICS_VERSION",
+    "config_fingerprint",
+    "fingerprint_description",
+    "module_workload_digest",
+]
+
+#: Version of the execution semantics the cached verdicts were produced
+#: under.  Bump whenever interpreter/compiled-backend semantics, the
+#: snapshot digest algorithm, or the verdict decision procedure changes
+#: in a way that could alter a cached payload; stores created under a
+#: different version are purged wholesale on open.
+SEMANTICS_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def module_workload_digest(
+    module: Module, entry: str = "main", args: Sequence[object] = ()
+) -> str:
+    """Content address of one analyzed workload (module + entry + args)."""
+    return _sha256(
+        "\x00".join([format_module(module), entry, repr(list(args))])
+    )
+
+
+def fingerprint_description(
+    schedule_names: Sequence[str],
+    rtol: float = 1e-9,
+    liveout_policy: str = "strict",
+    static_filter: bool = True,
+    max_steps: Optional[int] = None,
+    candidate_labels: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """The canonical, JSON-serializable description a fingerprint hashes.
+
+    Stored alongside cache entries so ``repro cache verify`` can
+    reconstruct the exact configuration and re-execute cached loops.
+    """
+    return {
+        "schedules": list(schedule_names),
+        "rtol": repr(rtol),
+        "liveout_policy": liveout_policy,
+        "static_filter": bool(static_filter),
+        "max_steps": max_steps,
+        "candidate_labels": (
+            sorted(candidate_labels) if candidate_labels is not None else None
+        ),
+        "semantics_version": SEMANTICS_VERSION,
+    }
+
+
+def config_fingerprint(
+    schedule_names: Sequence[str],
+    rtol: float = 1e-9,
+    liveout_policy: str = "strict",
+    static_filter: bool = True,
+    max_steps: Optional[int] = None,
+    candidate_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Digest of the verdict-relevant analysis configuration."""
+    description = fingerprint_description(
+        schedule_names,
+        rtol=rtol,
+        liveout_policy=liveout_policy,
+        static_filter=static_filter,
+        max_steps=max_steps,
+        candidate_labels=candidate_labels,
+    )
+    return _sha256(json.dumps(description, sort_keys=True))

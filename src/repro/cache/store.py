@@ -1,0 +1,424 @@
+"""Persistent, content-addressed analysis cache (sqlite3, stdlib-only).
+
+The store memoizes per-loop DCA verdicts — the full
+:class:`~repro.core.report.LoopResult` payload plus the loop's
+contribution to report-level accounting — keyed by
+``(module digest, loop id, config fingerprint)`` (see
+:mod:`repro.cache.keys`).  Layout::
+
+    <cache dir>/dca-cache.sqlite
+        meta          schema + semantics version, purge counters
+        entries       the memoized payloads (JSON), usage accounting
+        fingerprints  fingerprint -> canonical config description
+        modules       module digest -> source provenance (for `verify`)
+
+Properties the rest of the pipeline relies on:
+
+* **Byte-faithful payloads.**  ``payload`` is JSON whose floats
+  round-trip exactly; a warm replay reconstructs the cold run's
+  ``LoopResult`` bit-for-bit (enforced by ``tests/test_cache.py`` and
+  ``benchmarks/test_cache_warm_speedup.py``).
+* **Self-invalidation.**  The fingerprint is part of the key, so any
+  config change is an automatic miss; such stale-sibling misses are
+  counted as *invalidations*.  A :data:`~repro.cache.keys.SEMANTICS_VERSION`
+  mismatch purges the whole store on open.
+* **Multi-process safety.**  Batch workers open their own connections;
+  writes are short transactions under a generous busy timeout (WAL when
+  the filesystem allows it).
+* **Verifiability.**  When source text is registered for a module,
+  ``verify`` can recompile it, re-execute a sample of cached loops with
+  the exact recorded configuration, and cross-check verdicts and
+  snapshot digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cache.keys import SEMANTICS_VERSION
+
+__all__ = ["AnalysisCache", "CACHE_DB_NAME", "CACHE_DIR_ENV", "CACHE_MODES"]
+
+CACHE_DB_NAME = "dca-cache.sqlite"
+
+#: Environment fallback for the cache directory (CLI flag wins).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: ``rw`` reads and writes; ``ro`` only reads; ``refresh`` recomputes
+#: everything and overwrites (reads are bypassed).
+CACHE_MODES = ("rw", "ro", "refresh")
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    module_digest TEXT NOT NULL,
+    loop_id TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    last_used_at REAL NOT NULL,
+    hits INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (module_digest, loop_id, fingerprint)
+);
+CREATE TABLE IF NOT EXISTS fingerprints (
+    fingerprint TEXT PRIMARY KEY,
+    description TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS modules (
+    module_digest TEXT PRIMARY KEY,
+    source_path TEXT,
+    source_text TEXT,
+    entry TEXT NOT NULL DEFAULT 'main',
+    args_json TEXT
+);
+"""
+
+
+class AnalysisCache:
+    """One open handle on a persistent analysis cache directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        mode: str = "rw",
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if mode not in CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {mode!r}; expected one of {CACHE_MODES}"
+            )
+        self.directory = str(directory)
+        self.mode = mode
+        self._clock = clock or time.time
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, CACHE_DB_NAME)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.executescript(_SCHEMA)
+        try:  # WAL keeps concurrent batch workers off each other's locks
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - fs-dependent
+            pass
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._check_versions()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_versions(self) -> None:
+        """Purge wholesale when the store predates the current semantics."""
+        with self._conn:
+            rows = dict(
+                self._conn.execute("SELECT key, value FROM meta").fetchall()
+            )
+            stored = rows.get("semantics_version")
+            if stored is not None and int(stored) != SEMANTICS_VERSION:
+                self._conn.execute("DELETE FROM entries")
+                self._conn.execute("DELETE FROM fingerprints")
+                purged = int(rows.get("semantics_purges", "0")) + 1
+                self._set_meta("semantics_purges", str(purged))
+            self._set_meta("schema_version", str(_SCHEMA_VERSION))
+            self._set_meta("semantics_version", str(SEMANTICS_VERSION))
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+            (key, value),
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "AnalysisCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- memoization -------------------------------------------------------
+
+    def lookup(
+        self, module_digest: str, loop_id: str, fingerprint: str
+    ) -> Optional[Dict[str, object]]:
+        """The cached payload for one loop, or None on a miss.
+
+        A hit bumps the entry's usage accounting (except in ``ro`` mode,
+        which must not write).  ``refresh`` mode always misses so the
+        caller recomputes and overwrites.
+        """
+        if self.mode == "refresh":
+            return None
+        row = self._conn.execute(
+            "SELECT payload FROM entries WHERE module_digest=? AND "
+            "loop_id=? AND fingerprint=?",
+            (module_digest, loop_id, fingerprint),
+        ).fetchone()
+        if row is None:
+            return None
+        if self.mode != "ro":
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE entries SET hits=hits+1, last_used_at=? WHERE "
+                    "module_digest=? AND loop_id=? AND fingerprint=?",
+                    (self._clock(), module_digest, loop_id, fingerprint),
+                )
+        return json.loads(row[0])
+
+    def has_stale_sibling(
+        self, module_digest: str, loop_id: str, fingerprint: str
+    ) -> bool:
+        """Whether this miss is really an invalidation: the same loop is
+        cached under a different (now unreachable) config fingerprint."""
+        row = self._conn.execute(
+            "SELECT 1 FROM entries WHERE module_digest=? AND loop_id=? "
+            "AND fingerprint<>? LIMIT 1",
+            (module_digest, loop_id, fingerprint),
+        ).fetchone()
+        return row is not None
+
+    def store(
+        self,
+        module_digest: str,
+        loop_id: str,
+        fingerprint: str,
+        payload: Dict[str, object],
+        fingerprint_description: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Memoize one loop verdict; returns False in read-only mode."""
+        if self.mode == "ro":
+            return False
+        now = self._clock()
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO entries (module_digest, loop_id, fingerprint, "
+                "payload, created_at, last_used_at, hits) "
+                "VALUES (?, ?, ?, ?, ?, ?, 0) "
+                "ON CONFLICT(module_digest, loop_id, fingerprint) DO UPDATE "
+                "SET payload=excluded.payload, created_at=excluded.created_at",
+                (module_digest, loop_id, fingerprint, json.dumps(payload),
+                 now, now),
+            )
+            if fingerprint_description is not None:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO fingerprints "
+                    "(fingerprint, description) VALUES (?, ?)",
+                    (fingerprint, json.dumps(fingerprint_description,
+                                             sort_keys=True)),
+                )
+        return True
+
+    def register_module(
+        self,
+        module_digest: str,
+        source_text: Optional[str] = None,
+        source_path: Optional[str] = None,
+        entry: str = "main",
+        args: Sequence[object] = (),
+    ) -> None:
+        """Record source provenance for a module digest (enables verify)."""
+        if self.mode == "ro":
+            return
+        try:
+            args_json: Optional[str] = json.dumps(list(args))
+        except TypeError:
+            args_json = None  # non-JSON workload args: not verifiable
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO modules (module_digest, source_path, "
+                "source_text, entry, args_json) VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(module_digest) DO UPDATE SET "
+                "source_path=COALESCE(excluded.source_path, source_path), "
+                "source_text=COALESCE(excluded.source_text, source_text)",
+                (module_digest, source_path, source_text, entry, args_json),
+            )
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        count_entries, total_hits = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM entries"
+        ).fetchone()
+        (count_modules,) = self._conn.execute(
+            "SELECT COUNT(*) FROM modules"
+        ).fetchone()
+        (count_verifiable,) = self._conn.execute(
+            "SELECT COUNT(*) FROM modules WHERE source_text IS NOT NULL"
+        ).fetchone()
+        (count_fingerprints,) = self._conn.execute(
+            "SELECT COUNT(*) FROM fingerprints"
+        ).fetchone()
+        meta = dict(self._conn.execute("SELECT key, value FROM meta"))
+        oldest, newest = self._conn.execute(
+            "SELECT MIN(created_at), MAX(created_at) FROM entries"
+        ).fetchone()
+        try:
+            size_bytes = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - racing deletion
+            size_bytes = 0
+        return {
+            "path": self.path,
+            "mode": self.mode,
+            "entries": count_entries,
+            "modules": count_modules,
+            "verifiable_modules": count_verifiable,
+            "fingerprints": count_fingerprints,
+            "total_hits": int(total_hits),
+            "semantics_version": int(meta.get("semantics_version",
+                                              SEMANTICS_VERSION)),
+            "semantics_purges": int(meta.get("semantics_purges", 0)),
+            "oldest_entry": oldest,
+            "newest_entry": newest,
+            "size_bytes": size_bytes,
+        }
+
+    def clear(self) -> int:
+        """Drop every cached verdict; returns the number removed."""
+        with self._conn:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()
+            self._conn.execute("DELETE FROM entries")
+            self._conn.execute("DELETE FROM fingerprints")
+            self._conn.execute("DELETE FROM modules")
+        self._conn.execute("VACUUM")
+        return count
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Expire old entries and cap the store size (LRU beyond the cap)."""
+        removed_age = removed_lru = 0
+        with self._conn:
+            if max_age_days is not None:
+                cutoff = self._clock() - max_age_days * 86400.0
+                removed_age = self._conn.execute(
+                    "DELETE FROM entries WHERE last_used_at < ?", (cutoff,)
+                ).rowcount
+            if max_entries is not None:
+                (count,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+                overflow = count - max_entries
+                if overflow > 0:
+                    removed_lru = self._conn.execute(
+                        "DELETE FROM entries WHERE rowid IN ("
+                        "SELECT rowid FROM entries ORDER BY last_used_at "
+                        "ASC, rowid ASC LIMIT ?)",
+                        (overflow,),
+                    ).rowcount
+            # Drop provenance rows no cached entry references any more.
+            self._conn.execute(
+                "DELETE FROM modules WHERE module_digest NOT IN "
+                "(SELECT DISTINCT module_digest FROM entries)"
+            )
+            self._conn.execute(
+                "DELETE FROM fingerprints WHERE fingerprint NOT IN "
+                "(SELECT DISTINCT fingerprint FROM entries)"
+            )
+            (remaining,) = self._conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()
+        return {
+            "removed_age": removed_age,
+            "removed_lru": removed_lru,
+            "remaining": remaining,
+        }
+
+    # -- verification ------------------------------------------------------
+
+    def verify(
+        self, sample: int = 10, seed: int = 0
+    ) -> Dict[str, object]:
+        """Re-execute a sample of cached loops and cross-check payloads.
+
+        Only loops whose module has registered source text are eligible.
+        Each sampled loop is recompiled and re-analyzed under its exact
+        recorded configuration (restricted to that loop); the fresh
+        verdict, invocation/trip counts, tested schedules, and snapshot
+        content digests must match the cached payload field-for-field.
+        """
+        from repro.core.dca import DcaAnalyzer  # local: avoid cycle
+        from repro.core.schedules import ScheduleConfig, schedule_from_name
+        from repro.driver import compile_program
+
+        rows = self._conn.execute(
+            "SELECT e.module_digest, e.loop_id, e.fingerprint, e.payload, "
+            "m.source_text, m.entry, m.args_json, f.description "
+            "FROM entries e "
+            "JOIN modules m ON m.module_digest = e.module_digest "
+            "JOIN fingerprints f ON f.fingerprint = e.fingerprint "
+            "WHERE m.source_text IS NOT NULL AND m.args_json IS NOT NULL "
+            "ORDER BY e.module_digest, e.loop_id, e.fingerprint"
+        ).fetchall()
+        rng = random.Random(seed)
+        if len(rows) > sample:
+            rows = rng.sample(rows, sample)
+        checked = ok = 0
+        mismatches: List[Dict[str, object]] = []
+        unverifiable: List[Dict[str, object]] = []
+        compare_fields = (
+            "verdict", "reason", "invocations", "max_trip",
+            "schedules_tested", "failed_schedule", "schedule_digests",
+        )
+        for (digest, loop_id, fingerprint, payload_json, source, entry,
+             args_json, desc_json) in rows:
+            payload = json.loads(payload_json)
+            desc = json.loads(desc_json)
+            checked += 1
+            try:
+                schedules = ScheduleConfig(
+                    [schedule_from_name(n) for n in desc["schedules"]]
+                )
+                analyzer = DcaAnalyzer(
+                    compile_program(source),
+                    entry=entry,
+                    args=json.loads(args_json),
+                    schedules=schedules,
+                    rtol=float(desc["rtol"]),
+                    max_steps=desc["max_steps"],
+                    candidate_labels=[loop_id],
+                    liveout_policy=desc["liveout_policy"],
+                    static_filter=desc["static_filter"],
+                )
+                fresh = analyzer.analyze().results.get(loop_id)
+            except Exception as exc:
+                unverifiable.append(
+                    {"module": digest, "loop": loop_id, "error": repr(exc)}
+                )
+                continue
+            cached = payload.get("result", {})
+            diffs = {}
+            if fresh is None:
+                diffs["loop"] = {"expected": loop_id, "actual": None}
+            else:
+                fresh_dict = fresh.to_dict()
+                for name in compare_fields:
+                    if fresh_dict.get(name) != cached.get(name):
+                        diffs[name] = {
+                            "expected": cached.get(name),
+                            "actual": fresh_dict.get(name),
+                        }
+            if diffs:
+                mismatches.append(
+                    {"module": digest, "loop": loop_id,
+                     "fingerprint": fingerprint, "diffs": diffs}
+                )
+            else:
+                ok += 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "mismatches": mismatches,
+            "unverifiable": unverifiable,
+        }

@@ -6,6 +6,8 @@ Usage::
     python -m repro analyze program.mc        # DCA verdict per loop
     python -m repro detect program.mc         # DCA vs all five baselines
     python -m repro profile program.mc        # pipeline cost breakdown
+    python -m repro batch DIR ...             # analyze a program corpus
+    python -m repro cache stats               # persistent-cache admin
     python -m repro lint program.mc           # static diagnostics only
     python -m repro ir program.mc             # dump the IR
 
@@ -18,11 +20,25 @@ processes; ``--jobs N`` alone implies the process backend),
 ``--exec-backend interp|compiled`` (closure-compile observer-free
 executions instead of tree-walking them; env ``REPRO_EXEC_BACKEND``).
 
+Flags always beat the matching ``REPRO_*`` environment variables (see
+``repro.api`` for the full precedence order).
+
+Caching: ``analyze``/``detect``/``profile``/``batch`` accept ``--cache
+DIR`` (persistent verdict cache; env ``REPRO_CACHE_DIR``), ``--no-cache``
+and ``--cache-mode rw|ro|refresh|off``; ``repro cache
+stats|clear|gc|verify`` administers a cache directory.
+
 Observability: ``profile`` runs with full tracing and accepts ``--trace
 out.json`` (Chrome trace-event JSON for ``chrome://tracing``),
-``--metrics out.json`` and ``--events out.jsonl``; ``analyze`` and
-``detect`` accept ``--profile`` (per-loop cost breakdown in text output)
-and ``--trace out.json`` (enables tracing for the run).
+``--metrics out.json`` and ``--events out.jsonl``; ``analyze``,
+``detect`` and ``batch`` accept ``--trace out.json`` (enables tracing
+for the run; ``batch`` merges per-program worker traces into one file,
+one lane per program) and ``analyze``/``detect`` accept ``--profile``
+(per-loop cost breakdown in text output).
+
+This module is a thin adapter over :mod:`repro.api`: every command
+builds one :class:`~repro.api.AnalysisConfig` and drives an
+:class:`~repro.api.AnalysisSession`.
 """
 
 from __future__ import annotations
@@ -96,23 +112,33 @@ def _write_json(path: str, payload) -> None:
         json.dump(payload, handle, indent=1)
 
 
+def _config_from_args(args: argparse.Namespace):
+    """Build the session config from parsed flags — the only place the
+    CLI surface maps onto :class:`repro.api.AnalysisConfig`."""
+    from repro.api import AnalysisConfig
+
+    return AnalysisConfig(
+        entry=args.entry,
+        rtol=getattr(args, "rtol", 1e-9),
+        liveout_policy=getattr(args, "policy", "strict"),
+        static_filter=not getattr(args, "no_static_filter", False),
+        backend=getattr(args, "backend", None),
+        jobs=getattr(args, "jobs", None),
+        exec_backend=getattr(args, "exec_backend", None),
+        cache_dir=getattr(args, "cache", None),
+        cache_mode=getattr(args, "cache_mode", "rw"),
+    )
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.core import DcaAnalyzer
+    from repro.api import AnalysisSession
 
     ctx = _obs_session(args)
     try:
-        module = compile_program(_read(args.program))
-        analyzer = DcaAnalyzer(
-            module,
-            entry=args.entry,
-            rtol=args.rtol,
-            liveout_policy=args.policy,
-            static_filter=not args.no_static_filter,
-            backend=args.backend,
-            jobs=args.jobs,
-            exec_backend=args.exec_backend,
-        )
-        report = analyzer.analyze()
+        with AnalysisSession(_config_from_args(args)) as session:
+            report = session.analyze(
+                _read(args.program), source_path=args.program
+            )
     finally:
         _obs_finish(args, ctx)
     if args.json:
@@ -142,72 +168,45 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    from repro.baselines import (
-        DependenceProfilingDetector,
-        DiscoPopDetector,
-        IccDetector,
-        IdiomsDetector,
-        PollyDetector,
-        build_context,
-    )
-    from repro.core import DcaAnalyzer
+    from repro.api import AnalysisSession
 
     obs_ctx = _obs_session(args)
     try:
-        source = _read(args.program)
-        report = DcaAnalyzer(
-            compile_program(source),
-            entry=args.entry,
-            rtol=args.rtol,
-            static_filter=not args.no_static_filter,
-            backend=args.backend,
-            jobs=args.jobs,
-            exec_backend=args.exec_backend,
-        ).analyze()
-        ctx = build_context(compile_program(source), entry=args.entry)
-        detectors = [
-            DependenceProfilingDetector(),
-            DiscoPopDetector(),
-            IdiomsDetector(),
-            PollyDetector(),
-            IccDetector(),
-        ]
-        results = {d.name: d.detect(ctx) for d in detectors}
+        with AnalysisSession(_config_from_args(args)) as session:
+            outcome = session.detect(
+                _read(args.program), source_path=args.program
+            )
     finally:
         _obs_finish(args, obs_ctx)
+    report = outcome.report
+    names = outcome.detector_names
 
     if args.json:
         print(
             json.dumps(
                 {
                     "dca": report.to_dict(),
-                    "baselines": {
-                        d.name: {
-                            label: bool(res and res.parallel)
-                            for label, res in results[d.name].items()
-                        }
-                        for d in detectors
-                    },
-                    "costs": ctx.costs,
+                    "baselines": outcome.baseline_verdicts(),
+                    "costs": outcome.costs,
                 },
                 indent=2,
             )
         )
         return 0
 
-    header = f"{'loop':14s}" + "".join(f"{d.name[:8]:>10s}" for d in detectors)
+    header = f"{'loop':14s}" + "".join(f"{name[:8]:>10s}" for name in names)
     header += f"{'DCA':>20s}"
     print(header)
     print("-" * len(header))
     for label in sorted(report.results):
         row = f"{label:14s}"
-        for det in detectors:
-            res = results[det.name].get(label)
+        for name in names:
+            res = outcome.baselines[name].get(label)
             row += f"{'yes' if res and res.parallel else '-':>10s}"
         row += f"{report.results[label].verdict:>20s}"
         print(row)
     print(_hit_rate_line(report))
-    profile_cost = ctx.costs.get("profile", {})
+    profile_cost = outcome.costs.get("profile", {})
     print(
         f"cost: DCA {report.executions} executions / "
         f"{report.interp_instructions} instrs; profiled baselines "
@@ -215,10 +214,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
         f"{int(profile_cost.get('instructions', 0))} instrs"
     )
     if args.profile:
-        for name in sorted(ctx.costs):
+        for name in sorted(outcome.costs):
             if name == "profile":
                 continue
-            cost = ctx.costs[name]
+            cost = outcome.costs[name]
             print(
                 f"  {name:14s} {cost['wall_ms']:8.2f} ms  "
                 f"{int(cost['parallel'])}/{int(cost['loops'])} loops parallel"
@@ -230,19 +229,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     import repro.obs as obs
-    from repro.driver import profile_program
+    from repro.api import AnalysisSession
 
     try:
-        report, ctx = profile_program(
-            _read(args.program),
-            entry=args.entry,
-            rtol=args.rtol,
-            liveout_policy=args.policy,
-            static_filter=not args.no_static_filter,
-            backend=args.backend,
-            jobs=args.jobs,
-            exec_backend=args.exec_backend,
-        )
+        with AnalysisSession(_config_from_args(args)) as session:
+            report, ctx = session.profile(
+                _read(args.program), source_path=args.program
+            )
         print(f"== pipeline profile: {args.program} ==")
         print(report.cost_summary())
         print(_hit_rate_line(report))
@@ -272,6 +265,122 @@ def cmd_profile(args: argparse.Namespace) -> int:
     finally:
         obs.disable()
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+    from repro.api import AnalysisSession
+    from repro.batch import STATUS_OK
+
+    if not args.paths and not args.manifest:
+        print("batch: no programs (pass paths and/or --manifest)",
+              file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    ctx = None
+    if args.trace:
+        ctx = obs.enable()
+        config = config.replace(obs=True)
+    jsonl_handle = open(args.jsonl, "w") if args.jsonl else None
+
+    def stream(outcome) -> None:
+        if jsonl_handle is not None:
+            jsonl_handle.write(json.dumps(outcome.to_dict()) + "\n")
+            jsonl_handle.flush()
+        if not args.json:
+            if outcome.status == STATUS_OK:
+                print(
+                    f"  ok           {outcome.path} ({outcome.loops} loops, "
+                    f"{outcome.commutative} commutative)"
+                )
+            else:
+                print(f"  {outcome.status:12s} {outcome.path}: {outcome.error}")
+
+    try:
+        with AnalysisSession(config) as session:
+            result = session.batch(
+                paths=args.paths, manifest=args.manifest, on_result=stream
+            )
+    finally:
+        if jsonl_handle is not None:
+            jsonl_handle.close()
+        if ctx is not None:
+            _write_json(args.trace, ctx.tracer.to_chrome_trace())
+            print(f"trace written to {args.trace}", file=sys.stderr)
+            obs.disable()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+        if jsonl_handle is not None:
+            print(f"per-program results written to {args.jsonl}")
+    ok = result.status_counts().get(STATUS_OK, 0)
+    return 0 if ok == result.programs else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import AnalysisCache, CACHE_DIR_ENV, resolve_cache_dir
+
+    directory = resolve_cache_dir(getattr(args, "cache", None))
+    if directory is None:
+        print(
+            f"cache: no directory (pass --cache DIR or set {CACHE_DIR_ENV})",
+            file=sys.stderr,
+        )
+        return 2
+    with AnalysisCache(directory, mode="ro" if args.cache_command == "stats"
+                       else "rw") as cache:
+        if args.cache_command == "stats":
+            stats = cache.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+                return 0
+            print(f"cache at {stats['path']}")
+            print(
+                f"  {stats['entries']} entries over {stats['modules']} "
+                f"modules / {stats['fingerprints']} configs "
+                f"({stats['size_bytes']} bytes)"
+            )
+            print(
+                f"  {stats['total_hits']} lifetime hits; "
+                f"{stats['verifiable_modules']} modules verifiable; "
+                f"semantics v{stats['semantics_version']} "
+                f"({stats['semantics_purges']} purges)"
+            )
+            return 0
+        if args.cache_command == "clear":
+            removed = cache.clear()
+            print(f"cleared {removed} entries")
+            return 0
+        if args.cache_command == "gc":
+            result = cache.gc(
+                max_age_days=args.max_age_days, max_entries=args.max_entries
+            )
+            if args.json:
+                print(json.dumps(result, indent=2))
+            else:
+                print(
+                    f"gc: removed {result['removed_age']} by age, "
+                    f"{result['removed_lru']} by LRU cap; "
+                    f"{result['remaining']} entries remain"
+                )
+            return 0
+        # verify: re-execute a sample of cached loops and cross-check.
+        result = cache.verify(sample=args.sample, seed=args.seed)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(
+                f"verify: {result['ok']}/{result['checked']} sampled "
+                f"entries match ({len(result['unverifiable'])} unverifiable)"
+            )
+            for mismatch in result["mismatches"]:
+                print(
+                    f"  MISMATCH {mismatch['loop']} "
+                    f"(module {mismatch['module'][:12]}...): "
+                    f"{sorted(mismatch['diffs'])}"
+                )
+        return 1 if result["mismatches"] else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -316,6 +425,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: all cores, or REPRO_SCHEDULE_JOBS)")
         exec_backend_flag(p)
 
+    def cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="persistent verdict cache directory "
+                            "(default: REPRO_CACHE_DIR, else disabled)")
+        p.add_argument("--cache-mode", choices=("rw", "ro", "refresh", "off"),
+                       default="rw", dest="cache_mode",
+                       help="rw reads+writes, ro never writes, refresh "
+                            "recomputes and overwrites, off disables")
+        p.add_argument("--no-cache", action="store_const", const="off",
+                       dest="cache_mode",
+                       help="shorthand for --cache-mode off")
+
     p_run = sub.add_parser("run", help="compile and execute a program")
     common(p_run)
     exec_backend_flag(p_run)
@@ -340,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--trace", metavar="FILE",
                       help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_an)
+    cache_flags(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
@@ -354,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--trace", metavar="FILE",
                        help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_det)
+    cache_flags(p_det)
     p_det.set_defaults(func=cmd_detect)
 
     p_prof = sub.add_parser(
@@ -374,7 +497,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--events", metavar="FILE",
                         help="write the structured event log as JSONL")
     engine_flags(p_prof)
+    cache_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="analyze a corpus of programs (files, directories, manifest)",
+    )
+    p_batch.add_argument("paths", nargs="*",
+                         help="program files and/or directories of *.mc")
+    p_batch.add_argument("--manifest", metavar="FILE",
+                         help="JSON/JSONL corpus manifest (path strings or "
+                              "{path, entry, args} objects)")
+    p_batch.add_argument("--entry", default="main")
+    p_batch.add_argument("--rtol", type=float, default=1e-9)
+    p_batch.add_argument("--policy", choices=("strict", "eventual"),
+                         default="strict")
+    p_batch.add_argument("--no-static-filter", action="store_true",
+                         help="disable the static pre-screen")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the aggregate corpus report as JSON")
+    p_batch.add_argument("--jsonl", metavar="FILE",
+                         help="stream one JSON line per program as each "
+                              "completes")
+    p_batch.add_argument("--trace", metavar="FILE",
+                         help="enable tracing; merge per-program worker "
+                              "traces into one Chrome trace (one lane per "
+                              "program)")
+    engine_flags(p_batch)
+    cache_flags(p_batch)
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_cache = sub.add_parser(
+        "cache", help="administer the persistent analysis cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def cache_dir_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    p_cstats = cache_sub.add_parser("stats", help="show cache contents")
+    cache_dir_flag(p_cstats)
+    p_cclear = cache_sub.add_parser("clear", help="drop every cached verdict")
+    cache_dir_flag(p_cclear)
+    p_cgc = cache_sub.add_parser(
+        "gc", help="expire old entries and cap the store size"
+    )
+    cache_dir_flag(p_cgc)
+    p_cgc.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                       help="drop entries unused for more than D days")
+    p_cgc.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="keep at most N entries (LRU eviction)")
+    p_cverify = cache_sub.add_parser(
+        "verify",
+        help="re-execute a sample of cached loops and cross-check digests",
+    )
+    cache_dir_flag(p_cverify)
+    p_cverify.add_argument("--sample", type=int, default=10, metavar="N",
+                           help="number of cached entries to re-execute")
+    p_cverify.add_argument("--seed", type=int, default=0, metavar="S",
+                           help="sampling seed")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_lint = sub.add_parser(
         "lint", help="static commutativity diagnostics (no execution)"

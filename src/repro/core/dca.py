@@ -19,7 +19,15 @@
    the loop non-commutative; identity divergence marks the transformation
    unsound for that loop (reported separately as ``split-mismatch``).
    Every :class:`~repro.core.report.LoopResult` records which stage decided
-   it (``decided_by``: selection / static / dynamic).
+   it (``decided_by``: selection / static / dynamic / cache).
+
+When a persistent :class:`~repro.cache.AnalysisCache` is attached, each
+loop that would enter stage 4 is first looked up by ``(workload digest,
+loop label, config fingerprint)``; a hit replays the memoized verdict,
+cost record and accounting instead of executing any schedule, and a miss
+stores the freshly decided loop for the next run.  Warm reports
+serialize byte-identically to cold ones (cache provenance and hit/miss
+accounting are deliberately excluded from serialization).
 """
 
 from __future__ import annotations
@@ -46,9 +54,15 @@ from repro.core.instrument import (
     loop_does_io,
 )
 from repro.core.payload import OutlineError
+from repro.cache.keys import (
+    config_fingerprint,
+    fingerprint_description,
+    module_workload_digest,
+)
 from repro.core.report import (
     COMMUTATIVE,
     COMMUTATIVE_VACUOUS,
+    DECIDED_CACHE,
     DECIDED_DYNAMIC,
     DECIDED_SELECTION,
     DECIDED_STATIC,
@@ -65,6 +79,7 @@ from repro.core.report import (
 from repro.core.runtime import DcaRuntime
 from repro.core.schedule_engine import (
     CANCELLED,
+    WORKER_LOST,
     LoopPlan,
     ScheduleEngine,
     ScheduleOutcome,
@@ -98,6 +113,9 @@ class DcaAnalyzer:
         engine: Optional[ScheduleEngine] = None,
         fault_injection: Optional[Dict[Tuple[str, str], str]] = None,
         exec_backend: Optional[str] = None,
+        cache=None,
+        source_text: Optional[str] = None,
+        source_path: Optional[str] = None,
     ):
         self.module = module
         self.entry = entry
@@ -144,6 +162,16 @@ class DcaAnalyzer:
         #: Testing hook: ``{(loop label, schedule name): fault style}``
         #: fires the named fault inside that schedule's execution.
         self.fault_injection = dict(fault_injection or {})
+        #: Persistent analysis cache (:class:`repro.cache.AnalysisCache`
+        #: or any object with the same ``lookup``/``store`` surface).
+        #: Consulted per loop before schedules are planned; fault
+        #: injection disables it — injected outcomes must never persist.
+        self.cache = cache if not self.fault_injection else None
+        #: Source provenance registered with the cache so ``repro cache
+        #: verify`` can recompile and re-execute cached loops.
+        self.source_text = source_text
+        self.source_path = source_path
+        self._workload_digest: Optional[str] = None
         #: Chrome-trace lane per worker pid (assigned in merge order).
         self._lane_by_pid: Dict[int, int] = {}
         #: Observability context; re-resolved at the start of ``analyze``.
@@ -248,6 +276,113 @@ class DcaAnalyzer:
         roots = [interp.globals[name] for name in global_names]
         return (interp.output_text(), result, capture(roots))
 
+    # -- persistent cache ------------------------------------------------------
+
+    def workload_digest(self) -> str:
+        """Content address of this analyzer's workload (module+entry+args)."""
+        if self._workload_digest is None:
+            self._workload_digest = module_workload_digest(
+                self.module, self.entry, self.args
+            )
+        return self._workload_digest
+
+    def _schedule_names(self) -> List[str]:
+        """Canonical schedule name list: identity (always run first)
+        plus the testing schedules, normalizing presets that do or do
+        not list identity explicitly."""
+        return ["identity"] + [
+            s.name for s in self.schedules.testing_schedules()
+        ]
+
+    def _fingerprint_description(self) -> Dict[str, object]:
+        return fingerprint_description(
+            self._schedule_names(),
+            rtol=self.rtol,
+            liveout_policy=self.liveout_policy,
+            static_filter=self.static_filter,
+            max_steps=self.max_steps,
+            candidate_labels=(
+                sorted(self.candidate_labels)
+                if self.candidate_labels is not None
+                else None
+            ),
+        )
+
+    def config_fingerprint(self) -> str:
+        """The verdict-relevant configuration digest — one third of the
+        cache key (see :mod:`repro.cache.keys` for what it covers)."""
+        return config_fingerprint(
+            self._schedule_names(),
+            rtol=self.rtol,
+            liveout_policy=self.liveout_policy,
+            static_filter=self.static_filter,
+            max_steps=self.max_steps,
+            candidate_labels=(
+                sorted(self.candidate_labels)
+                if self.candidate_labels is not None
+                else None
+            ),
+        )
+
+    def _apply_cached(
+        self,
+        payload: Dict[str, object],
+        result: LoopResult,
+        report: DcaReport,
+    ) -> None:
+        """Replay one cached loop verdict into the report.
+
+        Reconstructs the loop's result and its exact contribution to the
+        report-level counters, so a warm report serializes to the same
+        bytes as its cold twin while executing zero schedules.
+        """
+        result.apply_payload(payload["result"])
+        cost = result.cost
+        report.executions += cost.schedule_executions
+        report.schedule_executions += cost.schedule_executions
+        report.interp_instructions += cost.interp_instructions
+        report.snapshots_taken += cost.snapshots_taken
+        report.snapshot_nodes += cost.snapshot_nodes
+        report.snapshot_bytes += cost.snapshot_bytes
+        report.verify_comparisons += cost.verify_comparisons
+        report.mismatches += cost.mismatches
+        for reason, n in payload.get("skipped", {}).items():
+            self._skip_schedules(report, reason, n)
+        report.cache.hits += 1
+        report.cache.schedule_executions_avoided += cost.schedule_executions
+        self._obs.count("dca.cache_hits")
+
+    def _store_cached(
+        self,
+        label: str,
+        result: LoopResult,
+        report: DcaReport,
+        skipped_before: Dict[str, int],
+        outcomes: Optional[List[ScheduleOutcome]] = None,
+    ) -> None:
+        """Memoize one freshly decided loop.
+
+        Loops whose verdict involved a lost worker are not cached: the
+        death is an environment event, and replaying it would make a
+        transient infrastructure failure sticky.
+        """
+        if any(o.status == WORKER_LOST for o in outcomes or []):
+            return
+        skipped_delta = {
+            reason: count - skipped_before.get(reason, 0)
+            for reason, count in report.schedules_skipped.items()
+            if count > skipped_before.get(reason, 0)
+        }
+        stored = self.cache.store(
+            self.workload_digest(),
+            label,
+            self.config_fingerprint(),
+            {"result": result.to_payload(), "skipped": skipped_delta},
+            fingerprint_description=self._fingerprint_description(),
+        )
+        if stored:
+            report.cache.stores += 1
+
     def analyze(self) -> DcaReport:
         self._obs = obs.current()
         report = DcaReport(entry=self.entry)
@@ -331,6 +466,18 @@ class DcaAnalyzer:
             report.backend = self._engine.name
             report.jobs = self._engine.jobs
             report.exec_backend = self.exec_backend
+            cache = self.cache
+            if cache is not None:
+                report.cache.enabled = True
+                digest = self.workload_digest()
+                fingerprint = self.config_fingerprint()
+                cache.register_module(
+                    digest,
+                    source_text=self.source_text,
+                    source_path=self.source_path,
+                    entry=self.entry,
+                    args=self.args,
+                )
             n_schedules = 1 + len(self.schedules.testing_schedules())
             plans: List[LoopPlan] = []
             for label in testable:
@@ -344,17 +491,38 @@ class DcaAnalyzer:
                     report.static_schedules_saved += n_schedules
                     continue
                 result.decided_by = DECIDED_DYNAMIC
+                if cache is not None:
+                    payload = cache.lookup(digest, label, fingerprint)
+                    if payload is not None:
+                        self._apply_cached(payload, result, report)
+                        continue
+                    report.cache.misses += 1
+                    if cache.has_stale_sibling(digest, label, fingerprint):
+                        report.cache.invalidations += 1
+                skipped_before = dict(report.schedules_skipped)
                 plan = self._plan_loop(label, specs[label], golden, result, report)
                 if plan is not None:
                     plans.append(plan)
+                elif cache is not None:
+                    # Untestable/iterator-only: decided during planning.
+                    self._store_cached(label, result, report, skipped_before)
             outcomes = self._engine.run(plans)
             for plan in plans:
+                skipped_before = dict(report.schedules_skipped)
                 self._merge_loop(
                     plan,
                     outcomes[plan.label],
                     report.results[plan.label],
                     report,
                 )
+                if cache is not None:
+                    self._store_cached(
+                        plan.label,
+                        report.results[plan.label],
+                        report,
+                        skipped_before,
+                        outcomes[plan.label],
+                    )
 
     def _apply_static_verdict(self, label: str, result: LoopResult) -> bool:
         """Resolve a loop from its static proof, skipping permutation

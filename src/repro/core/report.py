@@ -24,6 +24,7 @@ _COMMUTATIVE_VERDICTS = frozenset({COMMUTATIVE, COMMUTATIVE_VACUOUS})
 DECIDED_SELECTION = "selection"  # candidate selection (I/O, never ran)
 DECIDED_STATIC = "static"  # static pre-screen proof
 DECIDED_DYNAMIC = "dynamic"  # permutation testing
+DECIDED_CACHE = "cache"  # replayed from the persistent analysis cache
 
 
 @dataclass
@@ -85,6 +86,30 @@ class LoopCost:
             "total_cpu_time_ms": round(self.total_cpu_time_ms, 3),
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """Cache representation: like :meth:`to_dict` but with *unrounded*
+        times, so a warm replay re-rounds to exactly the cold bytes."""
+        payload = self.to_dict()
+        payload["schedule_times_ms"] = dict(self.schedule_times_ms)
+        payload["schedule_cpu_times_ms"] = dict(self.schedule_cpu_times_ms)
+        del payload["total_time_ms"]
+        del payload["total_cpu_time_ms"]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LoopCost":
+        return cls(
+            schedule_executions=payload["schedule_executions"],
+            interp_instructions=payload["interp_instructions"],
+            snapshots_taken=payload["snapshots_taken"],
+            snapshot_nodes=payload["snapshot_nodes"],
+            snapshot_bytes=payload["snapshot_bytes"],
+            verify_comparisons=payload["verify_comparisons"],
+            mismatches=payload["mismatches"],
+            schedule_times_ms=dict(payload["schedule_times_ms"]),
+            schedule_cpu_times_ms=dict(payload["schedule_cpu_times_ms"]),
+        )
+
 
 @dataclass
 class LoopResult:
@@ -100,8 +125,14 @@ class LoopResult:
     max_trip: int = 0
     schedules_tested: List[str] = field(default_factory=list)
     failed_schedule: Optional[str] = None
-    #: Which stage decided the verdict (selection / static / dynamic).
+    #: Which stage decided the verdict (selection / static / dynamic /
+    #: cache).  Text outputs show ``cache`` for replayed loops.
     decided_by: str = DECIDED_DYNAMIC
+    #: For cache-replayed loops: the stage that *originally* decided the
+    #: verdict.  Serialization emits this instead of ``cache`` so warm
+    #: reports stay byte-identical to cold ones (same contract as the
+    #: report's backend/jobs fields).
+    cache_origin: Optional[str] = None
     #: Static pre-screen verdict for this loop, when the pass ran.
     static_verdict: Optional[str] = None
     #: Evidence chain backing the static verdict (rendered strings).
@@ -123,6 +154,16 @@ class LoopResult:
     def qualified_name(self) -> str:
         return self.label
 
+    @property
+    def from_cache(self) -> bool:
+        return self.decided_by == DECIDED_CACHE
+
+    @property
+    def serialized_decided_by(self) -> str:
+        """The provenance serialization emits: cache replays report the
+        stage that originally decided the loop."""
+        return self.cache_origin or self.decided_by
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "label": self.label,
@@ -135,7 +176,7 @@ class LoopResult:
             "max_trip": self.max_trip,
             "schedules_tested": list(self.schedules_tested),
             "failed_schedule": self.failed_schedule,
-            "decided_by": self.decided_by,
+            "decided_by": self.serialized_decided_by,
             "static_verdict": self.static_verdict,
             "static_evidence": list(self.static_evidence),
             "schedule_digests": dict(self.schedule_digests),
@@ -144,9 +185,71 @@ class LoopResult:
             "cost": self.cost.to_dict(),
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """Cache representation of a decided loop: :meth:`to_dict` with
+        unrounded cost times (see :meth:`LoopCost.to_payload`)."""
+        payload = self.to_dict()
+        del payload["is_commutative"]  # derived
+        payload["cost"] = self.cost.to_payload()
+        return payload
+
+    def apply_payload(self, payload: Dict[str, object]) -> None:
+        """Replay a cached payload into this (freshly selected) result.
+
+        Label/function/line/kind stay as selection set them — they are
+        derived from the module, which the cache key already fixes.
+        ``decided_by`` becomes ``cache`` with the original stage kept in
+        ``cache_origin`` for byte-identical serialization.
+        """
+        self.verdict = payload["verdict"]
+        self.reason = payload["reason"]
+        self.invocations = payload["invocations"]
+        self.max_trip = payload["max_trip"]
+        self.schedules_tested = list(payload["schedules_tested"])
+        self.failed_schedule = payload["failed_schedule"]
+        self.cache_origin = payload["decided_by"]
+        self.decided_by = DECIDED_CACHE
+        self.static_verdict = payload["static_verdict"]
+        self.static_evidence = list(payload["static_evidence"])
+        self.schedule_digests = dict(payload["schedule_digests"])
+        self.mismatch_detail = payload["mismatch_detail"]
+        self.cost = LoopCost.from_payload(payload["cost"])
+
     def __str__(self) -> str:
         extra = f" ({self.reason})" if self.reason else ""
         return f"{self.label}: {self.verdict}{extra}"
+
+
+@dataclass
+class CacheAccounting:
+    """Per-run persistent-cache accounting.
+
+    Deliberately *not* part of report serialization: a warm report must
+    stay byte-identical to its cold twin (same contract as the report's
+    backend/jobs/exec_backend fields).  Text outputs and
+    ``repro cache stats`` surface these numbers instead.
+    """
+
+    #: Whether a persistent cache was consulted for this run.
+    enabled: bool = False
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Misses whose (module, loop) had entries under a different config
+    #: fingerprint — the cache-invalidation effect of a config change.
+    invalidations: int = 0
+    #: Schedule executions replayed from the cache instead of executed.
+    schedule_executions_avoided: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "schedule_executions_avoided": self.schedule_executions_avoided,
+        }
 
 
 @dataclass
@@ -196,6 +299,9 @@ class DcaReport:
     #: (``interp`` or ``compiled``).  Same contract: never serialized —
     #: compiled and interpreted reports must stay byte-identical.
     exec_backend: str = "interp"
+    #: Persistent-cache accounting for this run.  Same contract: never
+    #: serialized, so warm reports match cold reports byte-for-byte.
+    cache: CacheAccounting = field(default_factory=CacheAccounting)
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]
@@ -212,10 +318,15 @@ class DcaReport:
             counts[result.verdict] = counts.get(result.verdict, 0) + 1
         return counts
 
-    def decided_by_counts(self) -> Dict[str, int]:
+    def decided_by_counts(self, serialized: bool = False) -> Dict[str, int]:
+        """Verdict provenance histogram.  ``serialized=True`` folds cache
+        replays into their original stage (the serialization view)."""
         counts: Dict[str, int] = {}
         for result in self.results.values():
-            counts[result.decided_by] = counts.get(result.decided_by, 0) + 1
+            key = result.serialized_decided_by if serialized else (
+                result.decided_by
+            )
+            counts[key] = counts.get(key, 0) + 1
         return counts
 
     def static_hit_rate(self) -> Tuple[int, int]:
@@ -223,9 +334,11 @@ class DcaReport:
         tested = [
             r
             for r in self.results.values()
-            if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+            if r.serialized_decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
         ]
-        hits = sum(1 for r in tested if r.decided_by == DECIDED_STATIC)
+        hits = sum(
+            1 for r in tested if r.serialized_decided_by == DECIDED_STATIC
+        )
         return hits, len(tested)
 
     def metrics_dict(self) -> Dict[str, object]:
@@ -257,7 +370,7 @@ class DcaReport:
             "schedule_executions": self.schedule_executions,
             "static_filter": self.static_filter,
             "verdict_counts": self.verdict_counts(),
-            "decided_by": self.decided_by_counts(),
+            "decided_by": self.decided_by_counts(serialized=True),
             "metrics": self.metrics_dict(),
             "loops": {
                 label: self.results[label].to_dict()
@@ -289,6 +402,13 @@ class DcaReport:
         ]
         if stages:
             lines.append(f"stages: {stages}")
+        if self.cache.enabled:
+            lines.append(
+                f"cache: {self.cache.hits} hits / {self.cache.misses} "
+                f"misses ({self.cache.invalidations} invalidated), "
+                f"{self.cache.schedule_executions_avoided} schedule "
+                f"executions avoided"
+            )
         return "\n".join(lines)
 
     def cost_table(self) -> str:

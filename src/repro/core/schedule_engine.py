@@ -84,6 +84,7 @@ __all__ = [
     "create_engine",
     "execute_task",
     "outcome_fails",
+    "resolve_schedule_backend",
     "should_test",
 ]
 
@@ -638,29 +639,55 @@ class ProcessScheduleEngine(ScheduleEngine):
         pass
 
 
+def resolve_schedule_backend(
+    backend: Optional[str] = None, jobs: Optional[int] = None
+) -> Tuple[str, Optional[int]]:
+    """Resolve the schedule backend and job count.
+
+    Explicit arguments (CLI flags, API config) always beat the
+    environment — in particular, an explicit ``jobs > 1`` implies the
+    process backend even when ``REPRO_SCHEDULE_BACKEND=serial`` is set.
+    The documented order:
+
+    backend
+        1. explicit ``backend`` argument;
+        2. implied ``process`` by an explicit ``jobs > 1``;
+        3. ``REPRO_SCHEDULE_BACKEND``;
+        4. implied ``process`` by ``REPRO_SCHEDULE_JOBS > 1``;
+        5. ``serial``.
+    jobs
+        1. explicit ``jobs`` argument;
+        2. ``REPRO_SCHEDULE_JOBS``;
+        3. backend default (all cores for ``process``).
+    """
+    env_jobs: Optional[int] = None
+    env_jobs_text = os.environ.get(JOBS_ENV, "").strip()
+    if env_jobs_text:
+        env_jobs = int(env_jobs_text)
+    resolved_jobs = jobs if jobs is not None else env_jobs
+    if backend is None:
+        if jobs is not None and jobs > 1:
+            backend = "process"
+        else:
+            backend = os.environ.get(BACKEND_ENV, "").strip() or None
+    if backend is None:
+        backend = "process" if env_jobs and env_jobs > 1 else "serial"
+    if backend not in ("serial", "process"):
+        raise ValueError(
+            f"unknown schedule backend {backend!r}; "
+            "expected 'serial' or 'process'"
+        )
+    return backend, resolved_jobs
+
+
 def create_engine(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     clock: Optional[Callable[[], float]] = None,
 ) -> ScheduleEngine:
-    """Build a schedule engine from explicit settings or the environment.
-
-    Resolution order: explicit ``backend`` argument, then the
-    ``REPRO_SCHEDULE_BACKEND`` environment variable, then ``serial``.
-    Passing ``jobs > 1`` without a backend implies ``process``.
-    """
-    if jobs is None:
-        env_jobs = os.environ.get(JOBS_ENV, "").strip()
-        if env_jobs:
-            jobs = int(env_jobs)
-    if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "").strip() or None
-    if backend is None:
-        backend = "process" if jobs and jobs > 1 else "serial"
+    """Build a schedule engine from explicit settings or the environment
+    (see :func:`resolve_schedule_backend` for the resolution order)."""
+    backend, jobs = resolve_schedule_backend(backend, jobs)
     if backend == "serial":
         return SerialScheduleEngine(clock=clock)
-    if backend == "process":
-        return ProcessScheduleEngine(jobs=jobs)
-    raise ValueError(
-        f"unknown schedule backend {backend!r}; expected 'serial' or 'process'"
-    )
+    return ProcessScheduleEngine(jobs=jobs)

@@ -107,6 +107,27 @@ class ScheduleConfig:
         return [s for s in self.schedules if not isinstance(s, IdentitySchedule)]
 
 
+def schedule_from_name(name: str) -> Schedule:
+    """Rebuild a schedule from its recorded name.
+
+    Schedule names are self-describing (``random<seed>`` / ``rotate<k>``
+    carry their parameters), which makes a preset reconstructible from
+    the name list alone — the property the persistent analysis cache
+    relies on to re-execute cached loops during ``repro cache verify``.
+    """
+    if name == "identity":
+        return IdentitySchedule()
+    if name == "reverse":
+        return ReverseSchedule()
+    if name == "evenodd":
+        return EvenOddSchedule()
+    if name.startswith("random") and name[len("random"):].isdigit():
+        return RandomSchedule(int(name[len("random"):]))
+    if name.startswith("rotate") and name[len("rotate"):].isdigit():
+        return RotationSchedule(int(name[len("rotate"):]))
+    raise ValueError(f"unknown schedule name {name!r}")
+
+
 def is_valid_permutation(order: Sequence[int], n: int) -> bool:
     """Invariant checked by property tests: ``order`` permutes ``range(n)``."""
     return len(order) == n and sorted(order) == list(range(n))

@@ -58,6 +58,50 @@ def run_program(
     return result, interp.output_text()
 
 
+def analyze_program(
+    source_or_module,
+    entry: str = "main",
+    args: Optional[List[object]] = None,
+    rtol: float = 1e-9,
+    liveout_policy: str = "strict",
+    static_filter: bool = True,
+    max_steps: Optional[int] = None,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+):
+    """Deprecated shim: use :class:`repro.api.AnalysisSession.analyze`.
+
+    Kept so pre-``repro.api`` embeddings keep working; new code should
+    construct an :class:`~repro.api.AnalysisConfig` instead of threading
+    kwargs.
+    """
+    import warnings
+
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    warnings.warn(
+        "repro.driver.analyze_program is deprecated; use "
+        "repro.api.AnalysisSession.analyze",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = AnalysisConfig(
+        entry=entry,
+        args=tuple(args or ()),
+        rtol=rtol,
+        liveout_policy=liveout_policy,
+        static_filter=static_filter,
+        max_steps=max_steps,
+        backend=backend,
+        jobs=jobs,
+        exec_backend=exec_backend,
+        cache_mode="off",
+    )
+    with AnalysisSession(config) as session:
+        return session.analyze(source_or_module)
+
+
 def profile_program(
     source_or_module,
     entry: str = "main",
@@ -70,30 +114,26 @@ def profile_program(
     jobs: Optional[int] = None,
     exec_backend: Optional[str] = None,
 ):
-    """Run the full DCA pipeline with observability enabled.
+    """Deprecated shim: use :class:`repro.api.AnalysisSession.profile`.
 
-    Returns ``(report, obs_context)``: the :class:`~repro.core.report.DcaReport`
-    with per-loop cost breakdowns, and the enabled
-    :class:`~repro.obs.ObsContext` holding the span trace (exportable as
-    Chrome trace JSON), the metrics registry, and the event log.
-
-    If the process-local observability context is not already enabled, a
-    fresh enabled context is installed; the caller owns disabling it.
+    Returns ``(report, obs_context)`` exactly as the session method
+    does; if the process-local observability context is not already
+    enabled, a fresh enabled context is installed and the caller owns
+    disabling it.
     """
-    from repro.core import DcaAnalyzer
+    import warnings
 
-    ctx = obs.current()
-    if not ctx.enabled:
-        ctx = obs.enable()
-    if isinstance(source_or_module, Module):
-        module = source_or_module
-    else:
-        with ctx.span("repro.compile"):
-            module = compile_program(source_or_module)
-    analyzer = DcaAnalyzer(
-        module,
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    warnings.warn(
+        "repro.driver.profile_program is deprecated; use "
+        "repro.api.AnalysisSession.profile",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = AnalysisConfig(
         entry=entry,
-        args=args,
+        args=tuple(args or ()),
         rtol=rtol,
         liveout_policy=liveout_policy,
         static_filter=static_filter,
@@ -101,6 +141,8 @@ def profile_program(
         backend=backend,
         jobs=jobs,
         exec_backend=exec_backend,
+        obs=True,
+        cache_mode="off",
     )
-    report = analyzer.analyze()
-    return report, ctx
+    with AnalysisSession(config) as session:
+        return session.profile(source_or_module)

@@ -20,6 +20,11 @@ program:
    schedule executions must cover exactly (1 + testing schedules) per
    eligible loop (see DcaReport.schedules_skipped).
 
+:func:`cache_differential_check` extends the same bar to the persistent
+cache: a cold run populating a fresh cache and a warm run served from it
+must both serialize byte-identically to an uncached run, with the warm
+run hitting for every dynamically decided loop.
+
 Returns a list of human-readable divergence descriptions; an empty list
 means the program passed.  Reproduce any CI seed locally with::
 
@@ -39,9 +44,11 @@ from repro.analysis.commutativity import (
     PROVEN_COMMUTATIVE,
     StaticCommutativityAnalysis,
 )
+from repro.cache import AnalysisCache
 from repro.core.dca import DcaAnalyzer
 from repro.core.report import (
     COMMUTATIVE,
+    DECIDED_CACHE,
     DECIDED_DYNAMIC,
     DECIDED_STATIC,
     NON_COMMUTATIVE,
@@ -53,7 +60,11 @@ from repro.driver import compile_program
 
 from fuzzgen import generate_program
 
-__all__ = ["accounting_violation", "differential_check"]
+__all__ = [
+    "accounting_violation",
+    "cache_differential_check",
+    "differential_check",
+]
 
 #: Dynamic verdicts that contradict a static commutativity proof.
 _REFUTES_COMMUTATIVE = {NON_COMMUTATIVE, RUNTIME_FAULT, SPLIT_MISMATCH}
@@ -74,7 +85,7 @@ def accounting_violation(report) -> Optional[str]:
     eligible = sum(
         1
         for r in report.results.values()
-        if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+        if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC, DECIDED_CACHE)
     )
     skipped = sum(report.schedules_skipped.values())
     total = report.schedule_executions + report.static_schedules_saved + skipped
@@ -166,6 +177,80 @@ def differential_check(
         if violation:
             problems.append(f"{name} {violation}")
 
+    return problems
+
+
+def cache_differential_check(
+    cache_dir: str,
+    source: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Cold-vs-warm persistent-cache equality for one program.
+
+    Runs the program uncached, then twice against a fresh cache
+    directory.  Both cached reports must serialize byte-identically to
+    the uncached one; the cold run must store (never hit) and the warm
+    run must be served entirely from cache — one hit per loop the cold
+    run decided dynamically, zero misses.  The warm report must also
+    still satisfy the schedule-execution accounting invariant, with
+    cache-replayed loops counted as eligible.
+    """
+    if source is None:
+        source = generate_program(seed)
+    problems: List[str] = []
+
+    def analyze(cache):
+        return DcaAnalyzer(
+            compile_program(source),
+            static_filter=False,
+            clock=_zero,
+            backend="serial",
+            cache=cache,
+            source_text=source,
+        ).analyze()
+
+    uncached = analyze(None)
+    with AnalysisCache(cache_dir) as cache:
+        cold = analyze(cache)
+        warm = analyze(cache)
+
+    j_uncached = uncached.to_json()
+    for name, report in (("cold", cold), ("warm", warm)):
+        j_other = report.to_json()
+        if j_other != j_uncached:
+            diff = "\n".join(
+                list(
+                    difflib.unified_diff(
+                        j_uncached.splitlines(),
+                        j_other.splitlines(),
+                        fromfile="uncached",
+                        tofile=name,
+                        lineterm="",
+                    )
+                )[:40]
+            )
+            problems.append(f"{name} cached report divergence:\n{diff}")
+
+    if cold.cache.hits:
+        problems.append(f"cold run hit the empty cache {cold.cache.hits}x")
+    expected = sum(
+        1
+        for r in uncached.results.values()
+        if r.decided_by == DECIDED_DYNAMIC
+    )
+    if cold.cache.stores != expected:
+        problems.append(
+            f"cold run stored {cold.cache.stores} verdicts, expected "
+            f"{expected} (one per dynamically decided loop)"
+        )
+    if warm.cache.misses or warm.cache.hits != expected:
+        problems.append(
+            f"warm run not fully cached: {warm.cache.hits} hits / "
+            f"{warm.cache.misses} misses, expected {expected} hits / 0"
+        )
+    violation = accounting_violation(warm)
+    if violation:
+        problems.append(f"warm {violation}")
     return problems
 
 

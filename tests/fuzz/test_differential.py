@@ -11,10 +11,11 @@ import os
 
 import pytest
 
-from diffharness import differential_check
+from diffharness import cache_differential_check, differential_check
 from fuzzgen import ARCHETYPES, generate_program
 
 SEED_COUNT = int(os.environ.get("REPRO_FUZZ_SEEDS", "25"))
+CACHE_SEED_COUNT = int(os.environ.get("REPRO_FUZZ_CACHE_SEEDS", "10"))
 
 
 @pytest.mark.parametrize("seed", range(SEED_COUNT))
@@ -22,6 +23,17 @@ def test_differential_seed(seed):
     problems = differential_check(seed=seed)
     assert not problems, (
         f"seed {seed} diverged:\n"
+        + "\n".join(problems)
+        + "\n--- program ---\n"
+        + generate_program(seed)
+    )
+
+
+@pytest.mark.parametrize("seed", range(CACHE_SEED_COUNT))
+def test_cache_differential_seed(seed, tmp_path):
+    problems = cache_differential_check(str(tmp_path), seed=seed)
+    assert not problems, (
+        f"seed {seed} cache divergence:\n"
         + "\n".join(problems)
         + "\n--- program ---\n"
         + generate_program(seed)
