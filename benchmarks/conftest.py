@@ -25,12 +25,18 @@ from repro.core import DcaAnalyzer
 
 @pytest.fixture(scope="session")
 def dca_reports() -> Dict[str, object]:
-    """DCA reports for every benchmark in the suite."""
+    """DCA reports for every benchmark in the suite.
+
+    Specs are pinned off: the table/figure harnesses and their ground
+    truth encode the paper's byte-exact verification contract.  The
+    spec-relaxed verdicts are gated separately by test_spec_unlock.py.
+    """
     reports = {}
     for bench in ALL_BENCHMARKS:
         module = bench.compile(fresh=True)
         analyzer = DcaAnalyzer(
-            module, rtol=bench.rtol, liveout_policy=bench.liveout_policy
+            module, rtol=bench.rtol, liveout_policy=bench.liveout_policy,
+            specs=False,
         )
         reports[bench.name] = analyzer.analyze()
     return reports

@@ -63,11 +63,18 @@ from repro.analysis.reductions import (
     REDUCTION_MUL,
     classify_loop,
 )
+from repro.analysis.specs import (
+    AnnotationReport,
+    SpecRegistry,
+    check_annotations,
+    recognize_chain_inserts,
+)
 from repro.ir.function import Function, Module
 from repro.ir.instructions import (
     BinOp,
     Call,
     CallBuiltin,
+    LoadGlobal,
     Mov,
     NewArray,
     NewStruct,
@@ -128,6 +135,10 @@ class StaticLoopVerdict:
     #: The loop has no payload to permute (statically); the dynamic stage
     #: reports such loops as ``iterator-only``, so the pre-screen defers.
     payload_empty: bool = False
+    #: The proof consumed declared commutativity specs: it holds modulo
+    #: the declared equivalence (multiset containers, monoid values) and
+    #: therefore only stands in for a spec-aware verification run.
+    used_specs: bool = False
 
     @property
     def is_proven(self) -> bool:
@@ -138,7 +149,7 @@ class StaticLoopVerdict:
         return self.evidence[0].detail if self.evidence else self.verdict
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        row: Dict[str, object] = {
             "label": self.label,
             "function": self.function,
             "line": self.line,
@@ -150,6 +161,11 @@ class StaticLoopVerdict:
                 for e in self.evidence
             ],
         }
+        # Emitted only when set, so specs-off serializations are
+        # byte-identical to the pre-spec format.
+        if self.used_specs:
+            row["used_specs"] = True
+        return row
 
     def __str__(self) -> str:
         return f"{self.label}: {self.verdict} ({self.headline()})"
@@ -176,10 +192,22 @@ class StaticCommutativityAnalysis:
     are computed once per function.
     """
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, specs: Optional[SpecRegistry] = None):
         self.module = module
         self.effects = EffectAnalysis(module)
         self.points_to = PointsTo(module)
+        #: Commutativity-spec registry (None: specs-off, the default —
+        #: verdicts are then byte-identical to the pre-spec prover).
+        self.specs = specs
+        #: Validated ``commutative`` annotations (function name ->
+        #: AnnotationReport).  Only *sound* declarations are ever
+        #: consumed; unsound ones surface through ``repro lint``, never
+        #: silently through a waiver.
+        self.annotations: Dict[str, AnnotationReport] = (
+            check_annotations(module, specs, self.effects, self.points_to)
+            if specs is not None
+            else {}
+        )
         self.verdicts: Dict[str, StaticLoopVerdict] = {}
         self._analyzed = False
 
@@ -282,10 +310,40 @@ class StaticCommutativityAnalysis:
         blockers: List[Evidence] = []
         facts: List[Evidence] = []
 
-        blockers.extend(self._effect_blockers(func, loop))
+        # Declared-commutative operations (specs-on only): recognized
+        # chain prepends contribute waived instruction sites and a
+        # carried head register the scalar rules accept as a fact.  The
+        # resulting proof holds modulo the declared equivalence, which
+        # ``used_specs`` records for the consumer.
+        waived: Set[Tuple[str, int]] = set()
+        spec_heads: Set[Reg] = set()
+        if self.specs is not None:
+            for ins in recognize_chain_inserts(
+                func, loop, self.specs, self.module
+            ):
+                waived |= ins.sites
+                if ins.head_reg is not None:
+                    spec_heads.add(ins.head_reg)
+                head = (
+                    ins.head_reg.name
+                    if ins.head_reg is not None
+                    else f"@{ins.head_global}"
+                )
+                facts.append(
+                    Evidence(
+                        kind="spec-chain-insert",
+                        detail=f"loop prepends to declared container "
+                        f"{ins.struct} through head {head}; the chain "
+                        "denotes the multiset of its node contents, "
+                        "which any iteration order builds identically",
+                    )
+                )
+
+        blockers.extend(self._effect_blockers(func, loop, waived, facts))
         blockers.extend(
             self._scalar_blockers(
-                func, loop, sep, idioms, live_out_scalars, actx, facts
+                func, loop, sep, idioms, live_out_scalars, actx, facts,
+                spec_heads,
             )
         )
         if not any(b.kind.startswith("callee") or b.kind in (
@@ -302,6 +360,9 @@ class StaticCommutativityAnalysis:
             return verdict
 
         verdict.verdict = PROVEN_COMMUTATIVE
+        verdict.used_specs = any(
+            e.kind.startswith("spec-") for e in facts
+        )
         if not facts:
             facts.append(
                 Evidence(
@@ -462,8 +523,24 @@ class StaticCommutativityAnalysis:
             )
         return None
 
-    def _effect_blockers(self, func: Function, loop: Loop) -> List[Evidence]:
-        """Instruction kinds that put the loop beyond the prover's reach."""
+    def _effect_blockers(
+        self,
+        func: Function,
+        loop: Loop,
+        waived: Optional[Set[Tuple[str, int]]] = None,
+        facts: Optional[List[Evidence]] = None,
+    ) -> List[Evidence]:
+        """Instruction kinds that put the loop beyond the prover's reach.
+
+        ``waived`` sites are the footprint of a recognized declared
+        operation (see :func:`repro.analysis.specs.recognize_chain_inserts`)
+        and are skipped: they are commutative *by declaration*, under the
+        equivalence the declaration names.  Calls to functions whose
+        ``commutative`` annotation validated are likewise waived when the
+        loop cannot observe the callee's state out-of-band
+        (:meth:`_callee_waivable`).
+        """
+        waived = waived or set()
         blockers: List[Evidence] = []
         loop_writes_heap = any(
             isinstance(instr, (SetIndex, SetField))
@@ -473,6 +550,8 @@ class StaticCommutativityAnalysis:
         for name in sorted(loop.blocks):
             for idx, instr in enumerate(func.blocks[name].instrs):
                 site = f"{name}[{idx}]"
+                if (name, idx) in waived:
+                    continue
                 if isinstance(instr, (NewStruct, NewArray)):
                     blockers.append(
                         Evidence(
@@ -522,21 +601,49 @@ class StaticCommutativityAnalysis:
                             )
                         )
                         continue
-                    if (
+                    has_effects = (
                         eff.writes_heap
                         or eff.globals_written
                         or eff.allocates
-                    ):
-                        blockers.append(
-                            Evidence(
-                                kind="callee-effects",
-                                detail=f"callee {instr.func} has side "
-                                "effects (heap/global writes or "
-                                "allocation)",
-                                site=site,
+                    )
+                    waived_call = False
+                    if has_effects:
+                        report = self.annotations.get(instr.func)
+                        if (
+                            report is not None
+                            and report.ok
+                            and self._callee_waivable(func, loop, instr, report)
+                        ):
+                            waived_call = True
+                            if facts is not None:
+                                facts.append(
+                                    Evidence(
+                                        kind="spec-callee",
+                                        detail=f"callee {instr.func} "
+                                        f"validated as a {report.kind} "
+                                        "spec; its effects commute by "
+                                        "declaration",
+                                        site=site,
+                                    )
+                                )
+                        else:
+                            blockers.append(
+                                Evidence(
+                                    kind="callee-effects",
+                                    detail=f"callee {instr.func} has side "
+                                    "effects (heap/global writes or "
+                                    "allocation)",
+                                    site=site,
+                                )
                             )
-                        )
-                    elif eff.reads_heap and loop_writes_heap:
+                    # Never waived: a callee that reads heap the loop
+                    # writes can observe iteration order no matter what
+                    # its own (declared) effects are.
+                    if (
+                        (waived_call or not has_effects)
+                        and eff.reads_heap
+                        and loop_writes_heap
+                    ):
                         blockers.append(
                             Evidence(
                                 kind="callee-reads-heap",
@@ -548,6 +655,47 @@ class StaticCommutativityAnalysis:
                         )
         return blockers
 
+    def _callee_waivable(
+        self, func: Function, loop: Loop, call: Call, report: AnnotationReport
+    ) -> bool:
+        """Whether a validated ``commutative`` callee may be waived *at
+        this call site*.
+
+        The annotation check establishes the callee's footprint shape;
+        this check establishes that the loop cannot observe the state the
+        declaration abstracts:
+
+        * pure / fresh-alloc: always (the heap-read interaction is
+          handled separately by the ``callee-reads-heap`` blocker);
+        * monoid / prng: the state global's *intermediate* values track
+          execution order, so nothing else in the loop may read or write
+          it — no direct load/store, no other callee touching it — and
+          the call's result (which may leak the intermediate value) must
+          be unused.  Multiple call sites of the *same* function compose
+          the same update and stay order-invariant.
+        """
+        if report.kind in ("pure", "fresh-alloc"):
+            return True
+        gname = report.state_global
+        if gname is None:
+            return False
+        if call.dest is not None and self._used_in_loop(
+            func, loop, call.dest
+        ):
+            return False
+        for name in loop.blocks:
+            for instr in func.blocks[name].instrs:
+                if isinstance(instr, (LoadGlobal, StoreGlobal)):
+                    if instr.name == gname:
+                        return False
+                elif isinstance(instr, Call) and instr.func != call.func:
+                    ceff = self.effects.effects.get(instr.func)
+                    if ceff is None or gname in (
+                        ceff.globals_read | ceff.globals_written
+                    ):
+                        return False
+        return True
+
     def _scalar_blockers(
         self,
         func: Function,
@@ -557,11 +705,27 @@ class StaticCommutativityAnalysis:
         live_out_scalars: List[Reg],
         actx: AffineContext,
         facts: List[Evidence],
+        spec_heads: Optional[Set[Reg]] = None,
     ) -> List[Evidence]:
         blockers: List[Evidence] = []
+        spec_heads = spec_heads or set()
         for reg, klass in sorted(
             idioms.scalars.items(), key=lambda kv: kv[0].name
         ):
+            if reg in spec_heads:
+                # The carried head of a recognized declared-container
+                # prepend: its value is order-sensitive (whichever node
+                # was linked last), but the declared equivalence erases
+                # exactly that — the chain compares as a multiset.
+                facts.append(
+                    Evidence(
+                        kind="spec-chain-head",
+                        detail=f"carried pointer {reg} heads a declared "
+                        "order-insensitive container; compared as a "
+                        "multiset of node contents",
+                    )
+                )
+                continue
             if klass == INDUCTION:
                 # An induction's *final* value is always order-invariant,
                 # but its intermediate values track the executed order,

@@ -104,6 +104,10 @@ class AnalysisConfig:
     #: then disabled) and mode ("rw", "ro", "refresh", or "off").
     cache_dir: Optional[str] = None
     cache_mode: str = "rw"
+    #: Commutativity specs (verification modulo declared equivalence;
+    #: see :mod:`repro.analysis.specs`).  None defers to ``REPRO_SPECS``
+    #: (default: off); True/False force the built-in registry on or off.
+    specs: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.liveout_policy not in ("strict", "eventual"):
@@ -155,11 +159,21 @@ class AnalysisConfig:
             return None
         return resolve_cache_dir(self.cache_dir)
 
+    def resolved_specs(self):
+        """The effective :class:`~repro.analysis.specs.SpecRegistry`:
+        explicit ``specs`` beats ``REPRO_SPECS`` beats off."""
+        from repro.analysis.specs import default_registry, registry_from_env
+
+        if self.specs is None:
+            return registry_from_env()
+        return default_registry() if self.specs else None
+
     def fingerprint(self) -> str:
         """The exact config-fingerprint component of the persistent
         cache key.  Covers only verdict-relevant settings — backends,
         jobs, observability and cache policy are excluded, matching the
         report byte-identity contract across those axes."""
+        registry = self.resolved_specs()
         return config_fingerprint(
             self.schedule_names(),
             rtol=self.rtol,
@@ -167,6 +181,7 @@ class AnalysisConfig:
             static_filter=self.static_filter,
             max_steps=self.max_steps,
             candidate_labels=self.candidate_labels,
+            specs=registry.digest() if registry is not None else None,
         )
 
 
@@ -263,6 +278,7 @@ class AnalysisSession:
             candidate_labels=config.candidate_labels,
             liveout_policy=config.liveout_policy,
             static_filter=config.static_filter,
+            specs=config.resolved_specs() or False,
             backend=backend,
             jobs=jobs,
             exec_backend=config.resolved_exec_backend(),

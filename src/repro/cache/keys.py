@@ -47,7 +47,12 @@ __all__ = [
 #: snapshot digest algorithm, or the verdict decision procedure changes
 #: in a way that could alter a cached payload; stores created under a
 #: different version are purged wholesale on open.
-SEMANTICS_VERSION = 1
+#:
+#: v2: commutativity specs (repro.analysis.specs) — rt_verify may
+#: canonicalize declared containers before comparison and the static
+#: pre-screen may consume spec waivers, so pre-spec entries must not be
+#: replayed into spec-aware runs (and vice versa).
+SEMANTICS_VERSION = 2
 
 
 def _sha256(text: str) -> str:
@@ -70,13 +75,19 @@ def fingerprint_description(
     static_filter: bool = True,
     max_steps: Optional[int] = None,
     candidate_labels: Optional[Sequence[str]] = None,
+    specs: Optional[str] = None,
 ) -> Dict[str, object]:
     """The canonical, JSON-serializable description a fingerprint hashes.
 
     Stored alongside cache entries so ``repro cache verify`` can
     reconstruct the exact configuration and re-execute cached loops.
+
+    ``specs`` is the spec-set digest (``SpecRegistry.digest()``) when
+    commutativity specs participate in verification, else None.  The key
+    is emitted only when set, so specs-off fingerprints are unchanged
+    from before the spec layer existed (modulo the semantics version).
     """
-    return {
+    description: Dict[str, object] = {
         "schedules": list(schedule_names),
         "rtol": repr(rtol),
         "liveout_policy": liveout_policy,
@@ -87,6 +98,9 @@ def fingerprint_description(
         ),
         "semantics_version": SEMANTICS_VERSION,
     }
+    if specs is not None:
+        description["specs"] = specs
+    return description
 
 
 def config_fingerprint(
@@ -96,6 +110,7 @@ def config_fingerprint(
     static_filter: bool = True,
     max_steps: Optional[int] = None,
     candidate_labels: Optional[Sequence[str]] = None,
+    specs: Optional[str] = None,
 ) -> str:
     """Digest of the verdict-relevant analysis configuration."""
     description = fingerprint_description(
@@ -105,5 +120,6 @@ def config_fingerprint(
         static_filter=static_filter,
         max_steps=max_steps,
         candidate_labels=candidate_labels,
+        specs=specs,
     )
     return _sha256(json.dumps(description, sort_keys=True))

@@ -376,6 +376,22 @@ class AnalysisCache:
             payload = json.loads(payload_json)
             desc = json.loads(desc_json)
             checked += 1
+            # Restore the recorded spec setting explicitly: entries
+            # written without specs must replay byte-exact (never pick
+            # up REPRO_SPECS from the environment), and spec-relaxed
+            # entries need the same registry re-activated.  Only the
+            # built-in registry is reconstructible from its digest.
+            specs: object = False
+            if "specs" in desc:
+                from repro.analysis.specs import default_registry
+                registry = default_registry()
+                if registry.digest() != desc["specs"]:
+                    unverifiable.append(
+                        {"module": digest, "loop": loop_id,
+                         "error": "unknown spec registry digest"}
+                    )
+                    continue
+                specs = registry
             try:
                 schedules = ScheduleConfig(
                     [schedule_from_name(n) for n in desc["schedules"]]
@@ -390,6 +406,7 @@ class AnalysisCache:
                     candidate_labels=[loop_id],
                     liveout_policy=desc["liveout_policy"],
                     static_filter=desc["static_filter"],
+                    specs=specs,
                 )
                 fresh = analyzer.analyze().results.get(loop_id)
             except Exception as exc:

@@ -122,6 +122,7 @@ def _config_from_args(args: argparse.Namespace):
         rtol=getattr(args, "rtol", 1e-9),
         liveout_policy=getattr(args, "policy", "strict"),
         static_filter=not getattr(args, "no_static_filter", False),
+        specs=getattr(args, "specs", None),
         backend=getattr(args, "backend", None),
         jobs=getattr(args, "jobs", None),
         exec_backend=getattr(args, "exec_backend", None),
@@ -384,18 +385,79 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.commutativity import StaticCommutativityAnalysis
-    from repro.analysis.diagnostics import DiagnosticEngine
+    from repro.analysis.commutativity import (
+        PROVEN_COMMUTATIVE,
+        StaticCommutativityAnalysis,
+    )
+    from repro.analysis.diagnostics import Diagnostic, DiagnosticEngine
+    from repro.analysis.specs import (
+        check_annotations,
+        default_registry,
+        registry_from_env,
+    )
 
     module = compile_program(_read(args.program))
-    verdicts = StaticCommutativityAnalysis(module).analyze()
+    specs = getattr(args, "specs", None)
+    if specs is None:
+        registry = registry_from_env()
+    elif specs is True:
+        registry = default_registry()
+    else:
+        registry = specs or None
+    verdicts = StaticCommutativityAnalysis(module, specs=registry).analyze()
     engine = DiagnosticEngine(program=args.program)
     engine.ingest_static(verdicts.values())
+
+    # `commutative` annotations are linted unconditionally: an unsound
+    # declaration is an error even when specs are not active, because the
+    # next run with REPRO_SPECS=1 would trust it.
+    unsound = 0
+    for name, report in sorted(check_annotations(module).items()):
+        if report.ok:
+            engine.add(Diagnostic(
+                severity="info", code="DCA-SPEC",
+                function=name, loop="-", line=0,
+                message=(f"commutative annotation validated as "
+                         f"{report.kind}: {report.reason}"),
+            ))
+        else:
+            unsound += 1
+            engine.add(Diagnostic(
+                severity="warning", code="DCA-SPEC-UNSOUND",
+                function=name, loop="-", line=0,
+                message=f"unsound commutative annotation: {report.reason}",
+            ))
+
+    # Suggestions: re-prove with every self-linked struct in the module
+    # declared order-insensitive; loops that flip to proven-commutative
+    # only need a declaration, not a rewrite.
+    base = registry if registry is not None else default_registry()
+    widened = base.extended_with_module_chains(module)
+    if widened.digest() != base.digest():
+        wide_verdicts = StaticCommutativityAnalysis(
+            module, specs=widened
+        ).analyze()
+        for label, verdict in verdicts.items():
+            wide = wide_verdicts.get(label)
+            if (verdict.verdict != PROVEN_COMMUTATIVE
+                    and wide is not None
+                    and wide.verdict == PROVEN_COMMUTATIVE
+                    and wide.used_specs):
+                engine.add(Diagnostic(
+                    severity="note", code="DCA-SPEC-SUGGEST",
+                    function=verdict.function, loop=label,
+                    line=verdict.line,
+                    message=("would be provably commutative if its "
+                             "container were declared order-insensitive"),
+                    evidence=[e for e in wide.evidence
+                              if e.kind.startswith("spec-")],
+                ))
+
     if args.json:
         print(engine.render_json())
     else:
         print(engine.render_text())
-    return 0
+    return 1 if unsound else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,6 +486,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the process backend "
                             "(default: all cores, or REPRO_SCHEDULE_JOBS)")
         exec_backend_flag(p)
+
+    def specs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--specs", action="store_const", const=True,
+                       dest="specs", default=None,
+                       help="verify modulo declared commutativity specs "
+                            "(order-insensitive containers, monoid "
+                            "accumulators; default: off, or REPRO_SPECS)")
+        p.add_argument("--no-specs", action="store_const", const=False,
+                       dest="specs",
+                       help="force byte-exact verification even when "
+                            "REPRO_SPECS is set")
 
     def cache_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache", metavar="DIR", default=None,
@@ -461,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--trace", metavar="FILE",
                       help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_an)
+    specs_flags(p_an)
     cache_flags(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
@@ -476,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--trace", metavar="FILE",
                        help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_det)
+    specs_flags(p_det)
     cache_flags(p_det)
     p_det.set_defaults(func=cmd_detect)
 
@@ -497,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--events", metavar="FILE",
                         help="write the structured event log as JSONL")
     engine_flags(p_prof)
+    specs_flags(p_prof)
     cache_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
@@ -525,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "traces into one Chrome trace (one lane per "
                               "program)")
     engine_flags(p_batch)
+    specs_flags(p_batch)
     cache_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
@@ -568,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_lint)
     p_lint.add_argument("--json", action="store_true",
                         help="emit diagnostics as JSON")
+    specs_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
     return parser
 

@@ -45,7 +45,12 @@ from repro.analysis.commutativity import (
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.purity import EffectAnalysis
-from repro.core.liveout import capture, snapshot_digest
+from repro.analysis.specs import (
+    SpecRegistry,
+    default_registry,
+    registry_from_env,
+)
+from repro.core.liveout import canonicalize_snapshot, capture, snapshot_digest
 from repro.core.instrument import (
     VerifySpec,
     build_observe_module,
@@ -66,6 +71,7 @@ from repro.core.report import (
     DECIDED_DYNAMIC,
     DECIDED_SELECTION,
     DECIDED_STATIC,
+    DECIDED_STATIC_SPECS,
     EXCLUDED_IO,
     ITERATOR_ONLY,
     NON_COMMUTATIVE,
@@ -107,6 +113,7 @@ class DcaAnalyzer:
         candidate_labels: Optional[Sequence[str]] = None,
         liveout_policy: str = "strict",
         static_filter: bool = True,
+        specs=None,
         clock: Optional[Callable[[], float]] = None,
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
@@ -136,6 +143,26 @@ class DcaAnalyzer:
         #: Pre-screen loops with the static commutativity prover: loops
         #: with a proven static verdict skip permutation testing.
         self.static_filter = static_filter
+        #: Commutativity-spec registry (verification modulo declared
+        #: equivalence; see :mod:`repro.analysis.specs`).  ``None``
+        #: resolves from the ``REPRO_SPECS`` environment (default: off);
+        #: ``True`` selects the built-in registry, ``False`` disables
+        #: specs, a :class:`SpecRegistry` is used as-is.
+        if specs is None:
+            self.specs: Optional[SpecRegistry] = registry_from_env()
+        elif specs is True:
+            self.specs = default_registry()
+        elif specs is False:
+            self.specs = None
+        else:
+            self.specs = specs
+        #: Declared container struct -> link-field slot, restricted to
+        #: structs this module actually defines with the exact declared
+        #: signature.  Empty whenever specs are off or nothing matches —
+        #: then every downstream path is byte-identical to specs-off.
+        self._chain_slots: Dict[str, int] = (
+            self.specs.chain_slots(module) if self.specs is not None else {}
+        )
         #: label -> StaticLoopVerdict, filled when the pre-screen runs.
         self.static_verdicts = {}
         #: Same-invocation dynamic flow edges, filled by the profiling run.
@@ -271,10 +298,19 @@ class DcaAnalyzer:
         self._profiled_trips = dict(profiler.max_trips)
 
     def _program_outcome(self, interp: Interpreter, result: object):
-        """The eventual observable outcome of a finished execution."""
+        """The eventual observable outcome of a finished execution.
+
+        With specs enabled the final-globals snapshot canonicalizes
+        declared containers exactly like ``rt_verify`` does (the worker
+        side applies the same rewrite via ``task.spec.equivalence``), so
+        the eventual policy also compares modulo declared equivalence.
+        """
         global_names = sorted(self.module.globals)
         roots = [interp.globals[name] for name in global_names]
-        return (interp.output_text(), result, capture(roots))
+        final = capture(roots)
+        if self._chain_slots:
+            final = canonicalize_snapshot(final, self._chain_slots)
+        return (interp.output_text(), result, final)
 
     # -- persistent cache ------------------------------------------------------
 
@@ -306,6 +342,7 @@ class DcaAnalyzer:
                 if self.candidate_labels is not None
                 else None
             ),
+            specs=self.specs.digest() if self.specs is not None else None,
         )
 
     def config_fingerprint(self) -> str:
@@ -322,6 +359,7 @@ class DcaAnalyzer:
                 if self.candidate_labels is not None
                 else None
             ),
+            specs=self.specs.digest() if self.specs is not None else None,
         )
 
     def _apply_cached(
@@ -401,7 +439,7 @@ class DcaAnalyzer:
         if self.static_filter:
             with self._stage(report, "static"):
                 self.static_verdicts = StaticCommutativityAnalysis(
-                    self.module
+                    self.module, specs=self.specs
                 ).analyze()
                 for label, result in report.results.items():
                     verdict = self.static_verdicts.get(label)
@@ -420,9 +458,19 @@ class DcaAnalyzer:
             if res.verdict is NOT_EXERCISED
         ]
         specs: Dict[str, VerifySpec] = {}
+        #: One module-wide equivalence annotation shared by every loop's
+        #: VerifySpec: canonicalization keys on struct *types*, and a
+        #: declared type means declared everywhere.
+        equivalence = (
+            tuple(sorted(self._chain_slots.items()))
+            if self._chain_slots
+            else None
+        )
         for label in testable:
             func = self.module.functions[report.results[label].function]
-            specs[label] = compute_verify_spec(self.module, func, label, effects)
+            spec = compute_verify_spec(self.module, func, label, effects)
+            spec.equivalence = equivalence
+            specs[label] = spec
 
         # Golden (observe) run: all candidate loops at once.
         with self._stage(report, "golden"):
@@ -548,7 +596,11 @@ class DcaAnalyzer:
             result.verdict = NON_COMMUTATIVE
         else:
             return False
-        result.decided_by = DECIDED_STATIC
+        result.decided_by = (
+            DECIDED_STATIC_SPECS
+            if getattr(verdict, "used_specs", False)
+            else DECIDED_STATIC
+        )
         result.reason = verdict.headline()
         result.max_trip = self._profiled_trips.get(label, 0)
         return True

@@ -63,6 +63,12 @@ class VerifySpec:
     ref_regs: List[Reg] = field(default_factory=list)
     ref_globals: List[str] = field(default_factory=list)
     scalar_globals: List[str] = field(default_factory=list)
+    #: Declared-container equivalence for snapshot comparison: a sorted
+    #: tuple of (struct name, link slot index) pairs, or None for the
+    #: default byte-exact comparison.  Set by the analyzer from the spec
+    #: registry (see repro.analysis.specs) and applied by
+    #: DcaRuntime._verify via liveout.canonicalize_snapshot.
+    equivalence: Optional[Tuple[Tuple[str, int], ...]] = None
 
     def verify_args(self) -> List[Reg]:
         return list(self.scalar_regs) + list(self.ref_regs)

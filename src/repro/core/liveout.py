@@ -122,6 +122,127 @@ def capture(roots: Sequence[object]) -> Snapshot:
     return Snapshot(roots=root_vals, objects=tuple(described))
 
 
+class _Bail(Exception):
+    """Canonicalization bailed; compare the snapshot byte-exactly."""
+
+
+def canonicalize_snapshot(
+    snapshot: Snapshot, chains: Dict[str, int]
+) -> Snapshot:
+    """Rewrite declared containers to their multiset denotation.
+
+    ``chains`` maps struct names declared order-insensitive (see
+    :meth:`repro.analysis.specs.SpecRegistry.chain_slots`) to the slot
+    index of their link field.  Every reference to such a node is
+    replaced *inline* by ``("chain", name, (sorted content keys...))``
+    covering the suffix reachable through the link field — a pointer into
+    the middle of a chain denotes that suffix's multiset, so genuinely
+    order-sensitive mid-chain references still differ.  A node's content
+    key is its non-link fields with nested declared references reduced
+    the same way.  Declared nodes leave the object table; survivors are
+    renumbered in the original deterministic visit order.
+
+    The rewrite *bails* — returns the snapshot unchanged, falling back to
+    byte-exact comparison — whenever the multiset abstraction would be
+    lossy or unsound: a cycle through link fields, a float in chain
+    content (bag keys compare exactly, which would drop the rtol
+    guarantee), a non-reference link value, or a chain node referencing
+    an undeclared heap object (its renumbering would depend on bag
+    order).  Bailing is always sound: it can only make the verifier
+    stricter.
+    """
+    objects = snapshot.objects
+    declared: Dict[int, int] = {}
+    for i, obj in enumerate(objects):
+        if obj[0] == "struct" and obj[1] in chains:
+            declared[i] = chains[obj[1]]
+    if not declared:
+        return snapshot
+
+    _IN_PROGRESS = ("chain-in-progress",)
+    memo: Dict[int, Tuple] = {}
+
+    def chain_value(i: int) -> Tuple:
+        cached = memo.get(i)
+        if cached is _IN_PROGRESS:
+            raise _Bail()
+        if cached is not None:
+            return cached
+        memo[i] = _IN_PROGRESS
+        name = objects[i][1]
+        keys: List[Tuple] = []
+        walked = set()
+        j = i
+        while True:
+            if j in walked:
+                raise _Bail()  # cycle through the link field
+            walked.add(j)
+            obj = objects[j]
+            if obj[0] != "struct" or obj[1] != name:
+                raise _Bail()
+            link = chains[name]
+            row = obj[2]
+            key: List[SnapValue] = []
+            for slot, v in enumerate(row):
+                if slot == link:
+                    continue
+                key.append(content_value(v))
+            keys.append(tuple(key))
+            nxt = row[link]
+            if nxt is None:
+                break
+            if not (isinstance(nxt, tuple) and nxt and nxt[0] == "ref"):
+                raise _Bail()
+            j = nxt[1]
+            if j not in declared:
+                raise _Bail()
+        keys.sort(key=lambda k: pickle.dumps(k, protocol=4))
+        value = ("chain", name, tuple(keys))
+        memo[i] = value
+        return value
+
+    def content_value(v: SnapValue) -> SnapValue:
+        if isinstance(v, float):
+            raise _Bail()  # exact bag keys would lose the rtol tolerance
+        if isinstance(v, tuple) and v and v[0] == "ref":
+            if v[1] in declared:
+                return chain_value(v[1])
+            raise _Bail()  # bag contents may not leak undeclared objects
+        return v
+
+    new_ids: Dict[int, int] = {}
+    retained: List[int] = []
+
+    def rewrite(v: SnapValue) -> SnapValue:
+        if isinstance(v, tuple) and v and v[0] == "ref":
+            j = v[1]
+            if j in declared:
+                return chain_value(j)
+            ix = new_ids.get(j)
+            if ix is None:
+                ix = new_ids[j] = len(retained)
+                retained.append(j)
+            return ("ref", ix)
+        return v
+
+    try:
+        new_roots = tuple(rewrite(v) for v in snapshot.roots)
+        described: List[Tuple] = []
+        k = 0
+        while k < len(retained):
+            obj = objects[retained[k]]
+            if obj[0] == "struct":
+                described.append(
+                    ("struct", obj[1], tuple(rewrite(v) for v in obj[2]))
+                )
+            else:
+                described.append(("array", tuple(rewrite(v) for v in obj[1])))
+            k += 1
+    except _Bail:
+        return snapshot
+    return Snapshot(roots=new_roots, objects=tuple(described))
+
+
 def snapshot_digest(snapshot: Snapshot) -> str:
     """Content hash (sha256 hex) of one canonical snapshot.
 

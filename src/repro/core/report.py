@@ -23,8 +23,12 @@ _COMMUTATIVE_VERDICTS = frozenset({COMMUTATIVE, COMMUTATIVE_VACUOUS})
 #: Which pipeline stage produced a loop's verdict.
 DECIDED_SELECTION = "selection"  # candidate selection (I/O, never ran)
 DECIDED_STATIC = "static"  # static pre-screen proof
+DECIDED_STATIC_SPECS = "static-specs"  # static proof modulo declared specs
 DECIDED_DYNAMIC = "dynamic"  # permutation testing
 DECIDED_CACHE = "cache"  # replayed from the persistent analysis cache
+
+#: Provenances counted as "statically decided" in hit-rate accounting.
+_STATIC_PROVENANCES = frozenset({DECIDED_STATIC, DECIDED_STATIC_SPECS})
 
 
 @dataclass
@@ -334,10 +338,11 @@ class DcaReport:
         tested = [
             r
             for r in self.results.values()
-            if r.serialized_decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+            if r.serialized_decided_by in _STATIC_PROVENANCES
+            or r.serialized_decided_by == DECIDED_DYNAMIC
         ]
         hits = sum(
-            1 for r in tested if r.serialized_decided_by == DECIDED_STATIC
+            1 for r in tested if r.serialized_decided_by in _STATIC_PROVENANCES
         )
         return hits, len(tested)
 

@@ -32,7 +32,13 @@ from repro.core.instrument import (
     RT_VERIFY,
     VerifySpec,
 )
-from repro.core.liveout import Snapshot, capture, snapshot_digest, snapshots_equal
+from repro.core.liveout import (
+    Snapshot,
+    canonicalize_snapshot,
+    capture,
+    snapshot_digest,
+    snapshots_equal,
+)
 from repro.core.schedules import Schedule
 from repro.interp.interpreter import Interpreter, RuntimeHooks
 from repro.interp.values import MiniCRuntimeError
@@ -211,6 +217,12 @@ class DcaRuntime(RuntimeHooks):
         for gname in spec.scalar_globals:
             roots.append(interp.globals[gname])
         snap = capture(roots)
+        if spec.equivalence:
+            # Verification modulo declared equivalence: rewrite declared
+            # containers to their multiset denotation before counting,
+            # digesting or comparing.  Golden and test runs share the
+            # same spec, so both sides canonicalize identically.
+            snap = canonicalize_snapshot(snap, dict(spec.equivalence))
         self.snapshots_taken += 1
         self.snapshot_nodes += snap.size()
         self.snapshot_bytes += snap.approx_bytes()

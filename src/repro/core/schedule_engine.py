@@ -61,7 +61,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.core.instrument import VerifySpec
-from repro.core.liveout import Snapshot, capture, snapshots_equal
+from repro.core.liveout import (
+    Snapshot,
+    canonicalize_snapshot,
+    capture,
+    snapshots_equal,
+)
 from repro.core.runtime import CommutativityMismatch, DcaRuntime
 from repro.core.schedules import Schedule
 from repro.interp.compiler import (
@@ -353,6 +358,13 @@ def execute_task(
                     golden_out, golden_ret, golden_globals = task.golden_outcome
                     roots = [interp.globals[name] for name in task.global_names]
                     final = capture(roots)
+                    if task.spec.equivalence:
+                        # Mirror the analyzer's golden-outcome capture:
+                        # declared containers compare as multisets under
+                        # the eventual policy too.
+                        final = canonicalize_snapshot(
+                            final, dict(task.spec.equivalence)
+                        )
                     outcome.outcome_ok = (
                         interp.output_text() == golden_out
                         and entry_result == golden_ret

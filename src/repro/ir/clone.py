@@ -15,6 +15,7 @@ from repro.ir.function import BasicBlock, Function, GlobalVar, LoopInfoMeta, Mod
 def clone_function(func: Function) -> Function:
     new = Function(func.name, list(func.params), func.return_type)
     new.reg_types = dict(func.reg_types)
+    new.commutative = func.commutative
     new.loops = {
         label: LoopInfoMeta(meta.label, meta.line, meta.header, meta.kind)
         for label, meta in func.loops.items()

@@ -71,6 +71,10 @@ class Function:
         self.reg_types: Dict[Reg, Type] = {}
         #: Source loops declared in this function, in lowering order.
         self.loops: Dict[str, LoopInfoMeta] = {}
+        #: Declared commutative in the source (``commutative func ...``).
+        #: The declaration is *checked*, never trusted: see
+        #: repro.analysis.specs.check_annotations.
+        self.commutative: bool = False
 
     def new_block(self, name: str) -> BasicBlock:
         if name in self.blocks:

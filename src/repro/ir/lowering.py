@@ -83,6 +83,7 @@ class _FuncLowering:
         self._scopes: List[Dict[str, Reg]] = [{}]
         self._name_counts: Dict[str, int] = {}
         self.func = Function(decl.name, params, decl.return_type)
+        self.func.commutative = decl.commutative
         self.builder = IRBuilder(self.func)
         for p in decl.params:
             reg = self._declare_local(p.name, p.param_type)

@@ -10,7 +10,8 @@ from repro.ir.function import Function, Module
 def format_function(func: Function) -> str:
     lines: List[str] = []
     params = ", ".join(f"{reg}: {t}" for reg, t in func.params)
-    lines.append(f"func {func.name}({params}) -> {func.return_type} {{")
+    prefix = "commutative " if func.commutative else ""
+    lines.append(f"{prefix}func {func.name}({params}) -> {func.return_type} {{")
     loop_headers = {meta.header: label for label, meta in func.loops.items()}
     for block in func.ordered_blocks():
         suffix = ""

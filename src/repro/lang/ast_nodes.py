@@ -191,6 +191,8 @@ class FuncDecl(Node):
     return_type: Optional[Type] = None
     params: List[Param] = field(default_factory=list)
     body: List[Stmt] = field(default_factory=list)
+    #: Declared commutative via the ``commutative func`` annotation.
+    commutative: bool = False
 
 
 @dataclass

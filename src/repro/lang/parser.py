@@ -93,6 +93,9 @@ class Parser:
                 program.structs.append(self._parse_struct())
             elif self._at(TokKind.KW_FUNC):
                 program.functions.append(self._parse_func())
+            elif self._at(TokKind.KW_COMMUTATIVE):
+                self._advance()
+                program.functions.append(self._parse_func(commutative=True))
             else:
                 program.globals.append(self._parse_global())
         return program
@@ -112,11 +115,13 @@ class Parser:
             decl.field_types.append(ftype)
         return decl
 
-    def _parse_func(self) -> ast.FuncDecl:
+    def _parse_func(self, commutative: bool = False) -> ast.FuncDecl:
         start = self._expect(TokKind.KW_FUNC)
         ret = self._parse_type()
         name = self._expect(TokKind.IDENT, "function name").text
-        func = ast.FuncDecl(line=start.line, name=name, return_type=ret)
+        func = ast.FuncDecl(
+            line=start.line, name=name, return_type=ret, commutative=commutative
+        )
         self._expect(TokKind.LPAREN)
         if not self._at(TokKind.RPAREN):
             while True:

@@ -18,6 +18,7 @@ class TokKind(Enum):
     # Keywords.
     KW_STRUCT = auto()
     KW_FUNC = auto()
+    KW_COMMUTATIVE = auto()
     KW_IF = auto()
     KW_ELSE = auto()
     KW_WHILE = auto()
@@ -71,6 +72,7 @@ class TokKind(Enum):
 KEYWORDS = {
     "struct": TokKind.KW_STRUCT,
     "func": TokKind.KW_FUNC,
+    "commutative": TokKind.KW_COMMUTATIVE,
     "if": TokKind.KW_IF,
     "else": TokKind.KW_ELSE,
     "while": TokKind.KW_WHILE,

@@ -44,6 +44,7 @@ from repro.analysis.commutativity import (
     PROVEN_COMMUTATIVE,
     StaticCommutativityAnalysis,
 )
+from repro.analysis.specs import default_registry, registry_from_env
 from repro.cache import AnalysisCache
 from repro.core.dca import DcaAnalyzer
 from repro.core.report import (
@@ -51,6 +52,7 @@ from repro.core.report import (
     DECIDED_CACHE,
     DECIDED_DYNAMIC,
     DECIDED_STATIC,
+    DECIDED_STATIC_SPECS,
     NON_COMMUTATIVE,
     RUNTIME_FAULT,
     SPLIT_MISMATCH,
@@ -64,6 +66,7 @@ __all__ = [
     "accounting_violation",
     "cache_differential_check",
     "differential_check",
+    "specs_soundness_check",
 ]
 
 #: Dynamic verdicts that contradict a static commutativity proof.
@@ -85,7 +88,8 @@ def accounting_violation(report) -> Optional[str]:
     eligible = sum(
         1
         for r in report.results.values()
-        if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC, DECIDED_CACHE)
+        if r.decided_by in (DECIDED_STATIC, DECIDED_STATIC_SPECS,
+                            DECIDED_DYNAMIC, DECIDED_CACHE)
     )
     skipped = sum(report.schedules_skipped.values())
     total = report.schedule_executions + report.static_schedules_saved + skipped
@@ -155,7 +159,12 @@ def differential_check(
             )
             problems.append(f"{name} report divergence:\n{diff}")
 
-    static = StaticCommutativityAnalysis(compile_program(source)).analyze()
+    # The static side resolves specs the same way the analyzer runs
+    # above did (REPRO_SPECS), so the agreement check compares the two
+    # stages under one verification semantics.
+    static = StaticCommutativityAnalysis(
+        compile_program(source), specs=registry_from_env()
+    ).analyze()
     for label, verdict in static.items():
         if not verdict.is_proven or label not in serial.results:
             continue
@@ -177,6 +186,65 @@ def differential_check(
         if violation:
             problems.append(f"{name} {violation}")
 
+    return problems
+
+
+def specs_soundness_check(
+    source: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Specs-on vs specs-off soundness for one program.
+
+    Verification modulo the spec registry is a *relaxation* of the
+    byte-exact comparison: any loop commutative without specs must stay
+    commutative with them (flips the other way — unlocked containers —
+    are the feature, not a divergence).  The specs-on static prover must
+    also not be contradicted by the specs-on dynamic oracle.
+    """
+    if source is None:
+        source = generate_program(seed)
+    problems: List[str] = []
+
+    off = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial", specs=False,
+    ).analyze()
+    on = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial", specs=True,
+    ).analyze()
+
+    if set(on.results) != set(off.results):
+        problems.append(
+            "specs changed the analyzed loop set: "
+            f"{sorted(set(on.results) ^ set(off.results))}"
+        )
+    for label in sorted(set(off.results) & set(on.results)):
+        r_off, r_on = off.results[label], on.results[label]
+        if r_off.is_commutative and not r_on.is_commutative:
+            problems.append(
+                f"{label}: specs-on regressed a commutative loop: "
+                f"{r_off.verdict} -> {r_on.verdict} ({r_on.reason})"
+            )
+
+    static = StaticCommutativityAnalysis(
+        compile_program(source), specs=default_registry()
+    )
+    for label, verdict in static.analyze().items():
+        if not verdict.is_proven or label not in on.results:
+            continue
+        dynamic = on.results[label]
+        if verdict.verdict == PROVEN_COMMUTATIVE:
+            if dynamic.verdict in _REFUTES_COMMUTATIVE:
+                problems.append(
+                    f"{label}: specs-on static proof contradicted by "
+                    f"dynamic verdict {dynamic.verdict}"
+                )
+        elif dynamic.verdict == COMMUTATIVE and dynamic.max_trip >= 2:
+            problems.append(
+                f"{label}: specs-on static race proof contradicted by "
+                f"dynamic verdict {dynamic.verdict}"
+            )
     return problems
 
 

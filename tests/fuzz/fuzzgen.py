@@ -15,7 +15,14 @@ execution orders:
   the strict policy);
 * ``pointer_chase`` — heap building (order-dependent structure) plus a
   pointer traversal whose payload commutes, the paper's motivating case
-  for dynamic over static analysis.
+  for dynamic over static analysis;
+* ``bag_insert`` / ``set_insert`` / ``bag_insert_global`` — container
+  building over the *declared* ``BagNode``/``SetNode`` types: byte-exact
+  verification calls them non-commutative (the chain permutes with the
+  schedule), verification modulo the commutativity-spec registry calls
+  them commutative (the content multiset does not).  These exist so the
+  specs-on/off soundness cross-check has programs where the two modes
+  legitimately differ.
 
 Everything is integer-valued, so verdicts never hinge on float roundoff
 tolerance, and all I/O happens after the loops (prints inside a loop
@@ -42,6 +49,9 @@ ARCHETYPES = (
     ("prefix", 3),
     ("cross_inplace", 2),
     ("pointer_chase", 3),
+    ("bag_insert", 2),
+    ("set_insert", 2),
+    ("bag_insert_global", 1),
 )
 
 
@@ -51,7 +61,10 @@ class _Emitter:
         self.n = n
         self.body: list[str] = []
         self.prints: list[str] = []
+        self.globals: list[str] = []
         self.needs_node = False
+        self.needs_bag = False
+        self.needs_set = False
 
     def line(self, text: str) -> None:
         self.body.append(f"  {text}")
@@ -163,6 +176,89 @@ def _emit_pointer_chase(e: _Emitter, k: int) -> None:
     e.prints.append(f"t{k}")
 
 
+def _emit_bag_insert(e: _Emitter, k: int) -> None:
+    # Prepends into a declared BagNode chain: structure permutes with
+    # the schedule, content multiset does not — commutative only under
+    # the spec registry's multiset equivalence.
+    e.needs_bag = True
+    mod = e.rng.randint(5, 11)
+    e.line(f"BagNode* bag{k} = null;")
+    e.for_loop(
+        [
+            "BagNode* n = new BagNode;",
+            f"n.value = abs(a[i]) % {mod};",
+            f"n.next = bag{k};",
+            f"bag{k} = n;",
+        ]
+    )
+    # Order-insensitive summary: the printed total matches under every
+    # schedule even when the chain itself does not.
+    e.line(f"int bt{k} = 0;")
+    e.line(f"BagNode* bp{k} = bag{k};")
+    e.line(f"while (bp{k} != null) {{")
+    e.line(f"  bt{k} += bp{k}.value;")
+    e.line(f"  bp{k} = bp{k}.next;")
+    e.line("}")
+    e.prints.append(f"bt{k}")
+
+
+def _emit_set_insert(e: _Emitter, k: int) -> None:
+    # Dedup-insert into a declared SetNode chain: the final membership
+    # is order-independent, the link order is not.
+    e.needs_set = True
+    mod = e.rng.randint(3, 6)
+    e.line(f"SetNode* set{k} = null;")
+    e.for_loop(
+        [
+            f"int key = abs(a[i]) % {mod};",
+            "int seen = 0;",
+            f"SetNode* q = set{k};",
+            "while (q != null) {",
+            "  if (q.key == key) {",
+            "    seen = 1;",
+            "  }",
+            "  q = q.next;",
+            "}",
+            "if (seen == 0) {",
+            "  SetNode* m = new SetNode;",
+            "  m.key = key;",
+            f"  m.next = set{k};",
+            f"  set{k} = m;",
+            "}",
+        ]
+    )
+    e.line(f"int sc{k} = 0;")
+    e.line(f"SetNode* sp{k} = set{k};")
+    e.line(f"while (sp{k} != null) {{")
+    e.line(f"  sc{k} += 1;")
+    e.line(f"  sp{k} = sp{k}.next;")
+    e.line("}")
+    e.prints.append(f"sc{k}")
+
+
+def _emit_bag_insert_global(e: _Emitter, k: int) -> None:
+    # Same multiset semantics, but the chain head lives in a global —
+    # exercises the recognizer's global-head path.
+    e.needs_bag = True
+    mul = e.rng.randint(2, 6)
+    e.globals.append(f"BagNode* gbag{k} = null;")
+    e.for_loop(
+        [
+            "BagNode* n = new BagNode;",
+            f"n.value = a[i] * {mul};",
+            f"n.next = gbag{k};",
+            f"gbag{k} = n;",
+        ]
+    )
+    e.line(f"int gt{k} = 0;")
+    e.line(f"BagNode* gp{k} = gbag{k};")
+    e.line(f"while (gp{k} != null) {{")
+    e.line(f"  gt{k} += gp{k}.value;")
+    e.line(f"  gp{k} = gp{k}.next;")
+    e.line("}")
+    e.prints.append(f"gt{k}")
+
+
 _EMITTERS = {
     "map": _emit_map,
     "reduction": _emit_reduction,
@@ -174,6 +270,9 @@ _EMITTERS = {
     "prefix": _emit_prefix,
     "cross_inplace": _emit_cross_inplace,
     "pointer_chase": _emit_pointer_chase,
+    "bag_insert": _emit_bag_insert,
+    "set_insert": _emit_set_insert,
+    "bag_insert_global": _emit_bag_insert_global,
 }
 
 
@@ -199,6 +298,15 @@ def generate_program(seed: int) -> str:
     if e.needs_node:
         lines.append("struct Node { int value; Node* next; }")
         lines.append("")
+    # Declared container types: field signatures match the default spec
+    # registry exactly, so these chains canonicalize under specs.
+    if e.needs_bag:
+        lines.append("struct BagNode { int value; BagNode* next; }")
+        lines.append("")
+    if e.needs_set:
+        lines.append("struct SetNode { int key; SetNode* next; }")
+        lines.append("")
+    lines.extend(e.globals)
     lines.append("func void main() {")
     lines.extend(e.body)
     for name in e.prints:

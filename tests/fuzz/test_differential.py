@@ -11,7 +11,11 @@ import os
 
 import pytest
 
-from diffharness import cache_differential_check, differential_check
+from diffharness import (
+    cache_differential_check,
+    differential_check,
+    specs_soundness_check,
+)
 from fuzzgen import ARCHETYPES, generate_program
 
 SEED_COUNT = int(os.environ.get("REPRO_FUZZ_SEEDS", "25"))
@@ -37,6 +41,53 @@ def test_cache_differential_seed(seed, tmp_path):
         + "\n".join(problems)
         + "\n--- program ---\n"
         + generate_program(seed)
+    )
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_specs_soundness_seed(seed):
+    problems = specs_soundness_check(seed=seed)
+    assert not problems, (
+        f"seed {seed} specs soundness violation:\n"
+        + "\n".join(problems)
+        + "\n--- program ---\n"
+        + generate_program(seed)
+    )
+
+
+def test_spec_archetypes_only_commutative_under_specs():
+    # At least one generated program in the smoke range must contain a
+    # loop that byte-exact verification rejects and spec-relaxed
+    # verification accepts — the divergence the registry exists for.
+    from repro.core.dca import DcaAnalyzer
+    from repro.driver import compile_program
+
+    def zero():
+        return 0.0
+
+    for seed in range(60):
+        source = generate_program(seed)
+        header = source.splitlines()[0]
+        if not any(name in header
+                   for name in ("bag_insert", "set_insert")):
+            continue
+        off = DcaAnalyzer(
+            compile_program(source), static_filter=False, clock=zero,
+            backend="serial", specs=False,
+        ).analyze()
+        on = DcaAnalyzer(
+            compile_program(source), static_filter=False, clock=zero,
+            backend="serial", specs=True,
+        ).analyze()
+        flipped = [
+            label for label in off.results
+            if not off.results[label].is_commutative
+            and on.results[label].is_commutative
+        ]
+        if flipped:
+            return
+    raise AssertionError(
+        "no spec-archetype program flipped a loop in seeds 0..59"
     )
 
 

@@ -22,7 +22,9 @@ def _lint(path, capsys, json_mode=False):
     argv = ["lint", str(path)] + (["--json"] if json_mode else [])
     exit_code = main(argv)
     out = capsys.readouterr().out
-    assert exit_code == 0
+    # An unsound `commutative` annotation is a lint error by contract.
+    expected = 1 if "unsound" in Path(path).name else 0
+    assert exit_code == expected
     assert out.strip(), f"no diagnostics for {path}"
     return out
 
@@ -91,3 +93,37 @@ def test_lint_flags_each_archetype(capsys):
             if f" {sev}: " in out:
                 seen.add(sev)
     assert seen == {"warning", "info", "note"}
+
+
+def test_lint_validates_sound_annotation(capsys):
+    out = _lint(EXAMPLES / "specs_annotation.mc", capsys)
+    assert "[DCA-SPEC]" in out
+    assert "DCA-SPEC-UNSOUND" not in out
+    assert "monoid" in out
+
+
+def test_lint_rejects_unsound_annotation(capsys):
+    out = _lint(EXAMPLES / "specs_unsound.mc", capsys)
+    assert "DCA-SPEC-UNSOUND" in out
+    assert "unsound commutative annotation" in out
+
+
+def test_lint_suggests_declarable_container(capsys):
+    """A chain-building loop over an undeclared struct earns a
+    DCA-SPEC-SUGGEST note pointing at the missing declaration."""
+    out = _lint(EXAMPLES / "pointer_chase.mc", capsys)
+    assert "DCA-SPEC-SUGGEST" in out
+    assert "order-insensitive" in out
+
+
+def test_lint_specs_flag_upgrades_annotated_call_loop(capsys):
+    path = EXAMPLES / "specs_annotation.mc"
+    # --no-specs forces the byte-exact baseline even under REPRO_SPECS=1.
+    assert main(["lint", str(path), "--no-specs"]) == 0
+    base = capsys.readouterr().out
+    assert "DCA-DYN" in base  # call loop deferred to dynamic, specs off
+    exit_code = main(["lint", str(path), "--specs"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "DCA-DYN" not in out  # proven statically via the annotation
+    assert "spec-callee" in out

@@ -18,7 +18,12 @@ import pytest
 
 import repro.obs as obs
 from repro.core.dca import DcaAnalyzer
-from repro.core.report import DECIDED_DYNAMIC, DECIDED_STATIC, RUNTIME_FAULT
+from repro.core.report import (
+    DECIDED_DYNAMIC,
+    DECIDED_STATIC,
+    DECIDED_STATIC_SPECS,
+    RUNTIME_FAULT,
+)
 from repro.core.schedule_engine import (
     FAULT_STYLES,
     LoopPlan,
@@ -269,7 +274,8 @@ def _check_accounting(report, n_schedules):
     eligible = sum(
         1
         for r in report.results.values()
-        if r.decided_by in (DECIDED_STATIC, DECIDED_DYNAMIC)
+        if r.decided_by in (DECIDED_STATIC, DECIDED_STATIC_SPECS,
+                            DECIDED_DYNAMIC)
     )
     skipped = sum(report.schedules_skipped.values())
     assert (

@@ -392,8 +392,13 @@ _REFUTES_COMMUTATIVE = {NON_COMMUTATIVE, RUNTIME_FAULT, SPLIT_MISMATCH}
 
 @pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
 def test_static_verdicts_agree_with_dynamic_oracle(bench):
+    # Both stages resolve specs identically (REPRO_SPECS), so the
+    # agreement contract holds under either verification semantics.
+    from repro.analysis.specs import registry_from_env
+
+    specs = registry_from_env()
     module = compile_program(bench.source)
-    static = StaticCommutativityAnalysis(module).analyze()
+    static = StaticCommutativityAnalysis(module, specs=specs).analyze()
     proven = [label for label, v in static.items() if v.is_proven]
     if not proven:
         return
@@ -404,6 +409,7 @@ def test_static_verdicts_agree_with_dynamic_oracle(bench):
         liveout_policy=bench.liveout_policy,
         candidate_labels=proven,
         static_filter=False,
+        specs=specs if specs is not None else False,
     ).analyze()
     for label in proven:
         if label not in oracle.results:
