@@ -52,6 +52,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+import repro.obs as obs
 from repro.analysis.alias import PointsTo
 from repro.analysis.purity import EffectAnalysis
 from repro.ir.function import Function, Module
@@ -179,6 +180,8 @@ class SpecRegistry:
             if signature != spec.fields:
                 continue
             slots[name] = list(sdef.fields).index(spec.link_field)
+        if slots:
+            obs.current().count("specs.chains_active", len(slots))
         return slots
 
     def extended_with_module_chains(self, module: Module) -> "SpecRegistry":
@@ -469,6 +472,8 @@ def recognize_chain_inserts(
                     head_global=gname,
                 )
             )
+    if inserts:
+        obs.current().count("specs.chain_inserts_recognized", len(inserts))
     return inserts
 
 
@@ -619,9 +624,13 @@ def check_annotations(
                 alloc_owner[("alloc", id(instr))] = func.name
 
     reports: Dict[str, AnnotationReport] = {}
+    ctx = obs.current()
     for func in declared:
-        reports[func.name] = _check_one(
-            module, func, effects, points_to, alloc_owner
+        report = _check_one(module, func, effects, points_to, alloc_owner)
+        reports[func.name] = report
+        ctx.count(
+            "specs.annotations.sound" if report.ok
+            else "specs.annotations.unsound"
         )
     return reports
 

@@ -108,6 +108,11 @@ class AnalysisConfig:
     #: see :mod:`repro.analysis.specs`).  None defers to ``REPRO_SPECS``
     #: (default: off); True/False force the built-in registry on or off.
     specs: Optional[bool] = None
+    #: Run-ledger directory (None defers to ``REPRO_LEDGER_DIR``, then
+    #: disabled; the explicit value "off" disables even over the
+    #: environment).  Session entry points append one headline row per
+    #: run (see :mod:`repro.obs.ledger` and ``repro stats``).
+    ledger_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.liveout_policy not in ("strict", "eventual"):
@@ -158,6 +163,11 @@ class AnalysisConfig:
         if self.cache_mode == "off":
             return None
         return resolve_cache_dir(self.cache_dir)
+
+    def resolved_ledger_dir(self) -> Optional[str]:
+        if self.ledger_dir == "off":
+            return None
+        return obs.resolve_ledger_dir(self.ledger_dir)
 
     def resolved_specs(self):
         """The effective :class:`~repro.analysis.specs.SpecRegistry`:
@@ -220,6 +230,8 @@ class AnalysisSession:
         self.config = config or AnalysisConfig()
         self._cache = None
         self._cache_opened = False
+        self._ledger = None
+        self._ledger_opened = False
 
     # -- plumbing ----------------------------------------------------------
 
@@ -235,11 +247,48 @@ class AnalysisSession:
                 )
         return self._cache
 
+    @property
+    def ledger(self):
+        """The open :class:`~repro.obs.RunLedger`, or None."""
+        if not self._ledger_opened:
+            self._ledger_opened = True
+            directory = self.config.resolved_ledger_dir()
+            if directory is not None:
+                self._ledger = obs.RunLedger(directory)
+        return self._ledger
+
     def close(self) -> None:
         if self._cache is not None:
             self._cache.close()
             self._cache = None
             self._cache_opened = False
+        if self._ledger is not None:
+            self._ledger.close()
+            self._ledger = None
+            self._ledger_opened = False
+
+    def _record_run(
+        self, kind: str, report: DcaReport, source_path: Optional[str]
+    ) -> None:
+        """Append one headline row to the run ledger (when configured)."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        ledger.record(
+            kind=kind,
+            program=source_path or "<inline>",
+            fingerprint=self.config.fingerprint(),
+            wall_ms=sum(report.stage_times_ms.values()),
+            schedule_executions=report.schedule_executions,
+            executions_saved=(
+                report.static_schedules_saved
+                + report.cache.schedule_executions_avoided
+            ),
+            cache_hits=report.cache.hits,
+            cache_misses=report.cache.misses,
+            verdicts=report.verdict_counts(),
+            stage_times=report.stage_times_ms,
+        )
 
     def __enter__(self) -> "AnalysisSession":
         return self
@@ -292,9 +341,11 @@ class AnalysisSession:
     def analyze(self, program, source_path: Optional[str] = None) -> DcaReport:
         """Run DCA over a program (source text or compiled module)."""
         module, source_text = self._prepare(program)
-        return self.analyzer(
+        report = self.analyzer(
             module, source_text=source_text, source_path=source_path
         ).analyze()
+        self._record_run("analyze", report, source_path)
+        return report
 
     def detect(self, program, source_path: Optional[str] = None) -> DetectOutcome:
         """Run DCA plus the five baseline detectors."""
@@ -325,6 +376,7 @@ class AnalysisSession:
             IccDetector(),
         ]
         results = {d.name: d.detect(ctx) for d in detectors}
+        self._record_run("detect", report, source_path)
         return DetectOutcome(
             report=report,
             baselines=results,
@@ -351,6 +403,7 @@ class AnalysisSession:
         report = self.analyzer(
             module, source_text=source_text, source_path=source_path
         ).analyze()
+        self._record_run("profile", report, source_path)
         return report, ctx
 
     def batch(
@@ -368,6 +421,35 @@ class AnalysisSession:
         """
         from repro.batch import run_batch
 
-        return run_batch(
+        result = run_batch(
             self.config, paths=paths, manifest=manifest, on_result=on_result
         )
+        ledger = self.ledger
+        if ledger is not None:
+            summary = result.to_dict()
+            saved = 0
+            for outcome in result.outcomes:
+                if outcome.report:
+                    metrics = outcome.report.get("metrics", {})
+                    saved += int(
+                        metrics.get("schedule_executions_saved_static", 0)
+                    )
+            corpus = ";".join(
+                list(paths) + ([manifest] if manifest else [])
+            )
+            ledger.record(
+                kind="batch",
+                program=corpus or "<corpus>",
+                fingerprint=self.config.fingerprint(),
+                wall_ms=result.wall_ms,
+                schedule_executions=summary["schedule_executions"],
+                executions_saved=saved,
+                cache_hits=summary["cache_hits"],
+                cache_misses=summary["cache_misses"],
+                verdicts=result.verdict_counts(),
+                extra={
+                    "programs": summary["programs"],
+                    "status_counts": summary["status_counts"],
+                },
+            )
+        return result

@@ -285,7 +285,12 @@ def analyze_program_spec(
     try:
         with open(spec.path, "r", encoding="utf-8") as fh:
             source = fh.read()
-        with AnalysisSession(_program_config(config, spec)) as session:
+        # The batch records one aggregate ledger row itself; per-program
+        # sessions must not each append an "analyze" row on top.
+        program_config = _program_config(config, spec).replace(
+            ledger_dir="off"
+        )
+        with AnalysisSession(program_config) as session:
             with obs.current().span("batch.program", path=spec.path):
                 report = session.analyze(source, source_path=spec.path)
         outcome.report = report.to_dict()
@@ -346,6 +351,65 @@ def _lost_outcome(spec: ProgramSpec, index: int, error: str) -> ProgramOutcome:
 
 
 # ---------------------------------------------------------------------------
+# Observability plumbing
+# ---------------------------------------------------------------------------
+
+
+def _note_outcome(ctx, outcome: ProgramOutcome) -> None:
+    """Per-program outcome metrics (status counter + wall-time histogram)."""
+    if ctx.enabled:
+        ctx.count(f"batch.outcome.{outcome.status}")
+        ctx.observe("batch.program.wall_ms", outcome.wall_ms)
+
+
+def _absorb_or_flush(ctx, outcome: ProgramOutcome, lane: int) -> None:
+    """Merge a worker's obs payload onto the program's trace lane.
+
+    A program whose worker died (or whose submission failed) never
+    shipped a payload; synthesize a span + error event on its lane so
+    the failure still appears in the merged trace instead of silently
+    dropping its telemetry.
+    """
+    if not ctx.enabled:
+        outcome.obs = None
+        return
+    if outcome.obs is not None:
+        ctx.absorb(outcome.obs, lane=lane)
+        outcome.obs = None
+        return
+    if outcome.status == STATUS_OK:
+        return
+    ctx.tracer.absorb(
+        [
+            {
+                "sid": 0,
+                "parent": None,
+                "name": "batch.program",
+                "args": {
+                    "path": outcome.path,
+                    "status": outcome.status,
+                    "synthetic": True,
+                },
+                "path": ["batch.program"],
+                "start_us": 0.0,
+                "dur_us": max(outcome.wall_ms * 1000.0, 1.0),
+                "depth": 0,
+            }
+        ],
+        lane=lane,
+    )
+    ctx.event(
+        "error",
+        "batch.telemetry-lost",
+        f"{outcome.path}: worker shipped no telemetry ({outcome.status})",
+        provenance="batch",
+        path=outcome.path,
+        status=outcome.status,
+        error=outcome.error,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
 
@@ -389,9 +453,11 @@ def _emit(outcome: ProgramOutcome, on_result) -> None:
 def _run_serial(
     config, specs: List[ProgramSpec], on_result
 ) -> List[ProgramOutcome]:
+    ctx = obs.current()
     outcomes: List[ProgramOutcome] = []
     for index, spec in enumerate(specs):
         outcome = analyze_program_spec(config, spec, index)
+        _note_outcome(ctx, outcome)
         outcomes.append(outcome)
         _emit(outcome, on_result)
     return outcomes
@@ -422,6 +488,7 @@ def _run_pooled(
             )
         except BrokenProcessPool:
             _discard_pool(jobs)
+            ctx.count("batch.pool_rebuilds")
             fut = _shared_pool(jobs).submit(
                 _run_in_worker, config, specs[index], index
             )
@@ -456,11 +523,10 @@ def _run_pooled(
             return outcome
 
     def handle(index: int, outcome: ProgramOutcome) -> None:
-        if outcome.obs is not None and ctx.enabled:
-            # One trace lane per program keeps the merged Chrome trace
-            # readable: lanes are stable corpus indices.
-            ctx.absorb(outcome.obs, lane=index + 1)
-            outcome.obs = None
+        # One trace lane per program keeps the merged Chrome trace
+        # readable: lanes are stable corpus indices.
+        _absorb_or_flush(ctx, outcome, lane=index + 1)
+        _note_outcome(ctx, outcome)
         outcomes[index] = outcome
         _emit(outcome, on_result)
 
@@ -479,5 +545,6 @@ def _run_pooled(
                 index = future_map.pop(fut)
                 handle(index, collect(fut, index))
             _discard_pool(jobs)
+            ctx.count("batch.pool_rebuilds")
             pool_broken = False
     return [o for o in outcomes if o is not None]

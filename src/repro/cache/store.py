@@ -40,9 +40,15 @@ import sqlite3
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.cache.keys import SEMANTICS_VERSION
 
 __all__ = ["AnalysisCache", "CACHE_DB_NAME", "CACHE_DIR_ENV", "CACHE_MODES"]
+
+#: Access counters kept per handle and persisted (summed) into ``meta``
+#: on close, so ``repro cache stats`` reports traffic across every run
+#: that touched the store, not just row counts.
+_LIFETIME_COUNTERS = ("lookups", "hits", "misses", "invalidations", "stores")
 
 CACHE_DB_NAME = "dca-cache.sqlite"
 
@@ -109,6 +115,9 @@ class AnalysisCache:
         except sqlite3.DatabaseError:  # pragma: no cover - fs-dependent
             pass
         self._conn.execute("PRAGMA busy_timeout=30000")
+        self._session_counts: Dict[str, int] = dict.fromkeys(
+            _LIFETIME_COUNTERS, 0
+        )
         self._check_versions()
 
     # -- lifecycle ---------------------------------------------------------
@@ -135,7 +144,38 @@ class AnalysisCache:
             (key, value),
         )
 
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Count one cache access: session counter + obs metric."""
+        self._session_counts[name] += n
+        ctx = obs.current()
+        if ctx.enabled:
+            ctx.count(f"cache.{name}", n)
+
+    def _flush_lifetime_counts(self) -> None:
+        """Fold the session's access counters into the persistent meta
+        table (skipped in read-only mode, which must not write)."""
+        if self.mode == "ro":
+            return
+        pending = {k: v for k, v in self._session_counts.items() if v}
+        if not pending:
+            return
+        try:
+            with self._conn:
+                for name, n in pending.items():
+                    self._conn.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?) "
+                        "ON CONFLICT(key) DO UPDATE SET value=CAST("
+                        "CAST(value AS INTEGER) + CAST(excluded.value "
+                        "AS INTEGER) AS TEXT)",
+                        (f"lifetime_{name}", str(n)),
+                    )
+            for name in pending:
+                self._session_counts[name] = 0
+        except sqlite3.Error:  # pragma: no cover - racing close/deletion
+            pass
+
     def close(self) -> None:
+        self._flush_lifetime_counts()
         self._conn.close()
 
     def __enter__(self) -> "AnalysisCache":
@@ -157,13 +197,16 @@ class AnalysisCache:
         """
         if self.mode == "refresh":
             return None
+        self._bump("lookups")
         row = self._conn.execute(
             "SELECT payload FROM entries WHERE module_digest=? AND "
             "loop_id=? AND fingerprint=?",
             (module_digest, loop_id, fingerprint),
         ).fetchone()
         if row is None:
+            self._bump("misses")
             return None
+        self._bump("hits")
         if self.mode != "ro":
             with self._conn:
                 self._conn.execute(
@@ -183,6 +226,8 @@ class AnalysisCache:
             "AND fingerprint<>? LIMIT 1",
             (module_digest, loop_id, fingerprint),
         ).fetchone()
+        if row is not None:
+            self._bump("invalidations")
         return row is not None
 
     def store(
@@ -214,6 +259,7 @@ class AnalysisCache:
                     (fingerprint, json.dumps(fingerprint_description,
                                              sort_keys=True)),
                 )
+        self._bump("stores")
         return True
 
     def register_module(
@@ -264,7 +310,7 @@ class AnalysisCache:
             size_bytes = os.path.getsize(self.path)
         except OSError:  # pragma: no cover - racing deletion
             size_bytes = 0
-        return {
+        out = {
             "path": self.path,
             "mode": self.mode,
             "entries": count_entries,
@@ -279,6 +325,19 @@ class AnalysisCache:
             "newest_entry": newest,
             "size_bytes": size_bytes,
         }
+        # Access traffic: every run that touched the store flushes its
+        # counters into meta on close; this handle's unflushed counts
+        # are added so stats stay current mid-session.
+        for name in _LIFETIME_COUNTERS:
+            out[f"lifetime_{name}"] = (
+                int(meta.get(f"lifetime_{name}", 0))
+                + self._session_counts[name]
+            )
+        lookups = out["lifetime_lookups"]
+        out["lifetime_hit_rate"] = (
+            out["lifetime_hits"] / lookups if lookups else None
+        )
+        return out
 
     def clear(self) -> int:
         """Drop every cached verdict; returns the number removed."""
@@ -329,6 +388,11 @@ class AnalysisCache:
             (remaining,) = self._conn.execute(
                 "SELECT COUNT(*) FROM entries"
             ).fetchone()
+        ctx = obs.current()
+        if ctx.enabled:
+            ctx.count("cache.gc.removed_age", removed_age)
+            ctx.count("cache.gc.removed_lru", removed_lru)
+            ctx.gauge("cache.gc.remaining", remaining)
         return {
             "removed_age": removed_age,
             "removed_lru": removed_lru,

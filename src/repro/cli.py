@@ -8,6 +8,7 @@ Usage::
     python -m repro profile program.mc        # pipeline cost breakdown
     python -m repro batch DIR ...             # analyze a program corpus
     python -m repro cache stats               # persistent-cache admin
+    python -m repro stats                     # cross-run ledger trends
     python -m repro lint program.mc           # static diagnostics only
     python -m repro ir program.mc             # dump the IR
 
@@ -34,7 +35,16 @@ out.json`` (Chrome trace-event JSON for ``chrome://tracing``),
 ``detect`` and ``batch`` accept ``--trace out.json`` (enables tracing
 for the run; ``batch`` merges per-program worker traces into one file,
 one lane per program) and ``analyze``/``detect`` accept ``--profile``
-(per-loop cost breakdown in text output).
+(per-loop cost breakdown in text output).  ``profile --export
+openmetrics|chrome-trace|jsonl`` emits the run's telemetry in a
+machine-readable exposition instead of the human-readable tables
+(``--export-out FILE`` redirects it to a file).
+
+Trend tracking: ``analyze``/``detect``/``profile``/``batch`` accept
+``--ledger DIR`` (append one summary row per run to a sqlite ledger;
+env ``REPRO_LEDGER_DIR``; ``--no-ledger`` disables) and ``repro stats``
+renders per-series trends against the rolling median, exiting 1 when a
+series regressed beyond ``--threshold`` percent — wired for CI.
 
 This module is a thin adapter over :mod:`repro.api`: every command
 builds one :class:`~repro.api.AnalysisConfig` and drives an
@@ -128,6 +138,7 @@ def _config_from_args(args: argparse.Namespace):
         exec_backend=getattr(args, "exec_backend", None),
         cache_dir=getattr(args, "cache", None),
         cache_mode=getattr(args, "cache_mode", "rw"),
+        ledger_dir=getattr(args, "ledger", None),
     )
 
 
@@ -237,14 +248,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
             report, ctx = session.profile(
                 _read(args.program), source_path=args.program
             )
-        print(f"== pipeline profile: {args.program} ==")
-        print(report.cost_summary())
-        print(_hit_rate_line(report))
-        print()
-        print(report.cost_table())
-        print()
-        print("== flame (wall time by span path) ==")
-        print(ctx.tracer.flame_summary())
+        if args.export:
+            text = obs.render_export(ctx, args.export)
+            if args.export_out:
+                with open(args.export_out, "w") as handle:
+                    handle.write(text)
+                print(
+                    f"{args.export} export written to {args.export_out}",
+                    file=sys.stderr,
+                )
+            else:
+                sys.stdout.write(text)
+        else:
+            print(f"== pipeline profile: {args.program} ==")
+            print(report.cost_summary())
+            print(_hit_rate_line(report))
+            print()
+            print(report.cost_table())
+            print()
+            print("== flame (wall time by span path) ==")
+            print(ctx.tracer.flame_summary())
         if args.trace:
             _write_json(args.trace, ctx.tracer.to_chrome_trace())
             print(f"\ntrace written to {args.trace} (load in chrome://tracing)")
@@ -348,6 +371,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
                 f"semantics v{stats['semantics_version']} "
                 f"({stats['semantics_purges']} purges)"
             )
+            rate = stats.get("lifetime_hit_rate")
+            print(
+                f"  traffic: {stats['lifetime_lookups']} lookups "
+                f"({stats['lifetime_hits']} hits / "
+                f"{stats['lifetime_misses']} misses"
+                + (f", {rate:.0%} hit rate" if rate is not None else "")
+                + f"); {stats['lifetime_invalidations']} invalidations, "
+                f"{stats['lifetime_stores']} stores"
+            )
             return 0
         if args.cache_command == "clear":
             removed = cache.clear()
@@ -382,6 +414,62 @@ def cmd_cache(args: argparse.Namespace) -> int:
                     f"{sorted(mismatch['diffs'])}"
                 )
         return 1 if result["mismatches"] else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import repro.obs as obs
+
+    directory = obs.resolve_ledger_dir(getattr(args, "ledger", None))
+    if directory is None:
+        print(
+            f"stats: no ledger (pass --ledger DIR or set {obs.LEDGER_DIR_ENV})",
+            file=sys.stderr,
+        )
+        return 2
+    with obs.RunLedger(directory) as ledger:
+        trends = ledger.trends(window=args.window)
+        regressions = ledger.check_regressions(
+            threshold_pct=args.threshold, window=args.window
+        )
+    if args.json:
+        print(json.dumps(
+            {"trends": trends, "regressions": regressions}, indent=2
+        ))
+        return 1 if regressions else 0
+    if not trends:
+        print(f"ledger at {directory}: no runs recorded yet")
+        return 0
+    print(f"ledger at {directory}: {len(trends)} series")
+    header = (
+        f"  {'kind':8s} {'program':32s} {'runs':>5s} {'wall ms':>9s} "
+        f"{'vs median':>10s} {'saved':>6s} {'hit rate':>9s}"
+    )
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for trend in trends:
+        program = trend["program"]
+        if len(program) > 32:
+            program = "..." + program[-29:]
+        wall_delta = trend["wall_ms_delta_pct"]
+        delta = f"{wall_delta:+.1f}%" if wall_delta is not None else "-"
+        rate = trend["latest_cache_hit_rate"]
+        rate_col = f"{rate:>9.0%}" if rate is not None else f"{'-':>9s}"
+        print(
+            f"  {trend['kind']:8s} {program:32s} {trend['runs']:>5d} "
+            f"{trend['latest_wall_ms']:>9.2f} {delta:>10s} "
+            f"{trend['latest_executions_saved']:>6d} {rate_col}"
+        )
+    if regressions:
+        print()
+        for reg in regressions:
+            for reason in reg["reasons"]:
+                print(f"  REGRESSION {reg['kind']} {reg['program']}: {reason}")
+        print(f"\n{len(regressions)} regression(s) vs rolling median "
+              f"(threshold {args.threshold:.0f}%, window {args.window})")
+        return 1
+    print(f"\nno regressions vs rolling median "
+          f"(threshold {args.threshold:.0f}%, window {args.window})")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -461,6 +549,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs import EXPORT_FORMATS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dynamic Commutativity Analysis (CGO 2021) reproduction",
@@ -510,6 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cache_mode",
                        help="shorthand for --cache-mode off")
 
+    def ledger_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ledger", metavar="DIR", default=None,
+                       help="run-ledger directory for cross-run trend "
+                            "tracking (default: REPRO_LEDGER_DIR, else "
+                            "disabled)")
+        p.add_argument("--no-ledger", action="store_const", const="off",
+                       dest="ledger",
+                       help="disable run recording even when "
+                            "REPRO_LEDGER_DIR is set")
+
     p_run = sub.add_parser("run", help="compile and execute a program")
     common(p_run)
     exec_backend_flag(p_run)
@@ -536,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags(p_an)
     specs_flags(p_an)
     cache_flags(p_an)
+    ledger_flags(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_det = sub.add_parser("detect", help="DCA vs the five baseline detectors")
@@ -552,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags(p_det)
     specs_flags(p_det)
     cache_flags(p_det)
+    ledger_flags(p_det)
     p_det.set_defaults(func=cmd_detect)
 
     p_prof = sub.add_parser(
@@ -571,9 +673,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the metrics registry as JSON")
     p_prof.add_argument("--events", metavar="FILE",
                         help="write the structured event log as JSONL")
+    p_prof.add_argument("--export", choices=EXPORT_FORMATS, default=None,
+                        help="emit the run's telemetry in the given format "
+                             "instead of the human-readable profile "
+                             "(openmetrics: Prometheus text exposition; "
+                             "chrome-trace: trace-event JSON; jsonl: one "
+                             "typed record per line)")
+    p_prof.add_argument("--export-out", metavar="FILE", default=None,
+                        dest="export_out",
+                        help="write the --export payload to FILE instead "
+                             "of stdout")
     engine_flags(p_prof)
     specs_flags(p_prof)
     cache_flags(p_prof)
+    ledger_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_batch = sub.add_parser(
@@ -603,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags(p_batch)
     specs_flags(p_batch)
     cache_flags(p_batch)
+    ledger_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_cache = sub.add_parser(
@@ -638,6 +752,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_cverify.add_argument("--seed", type=int, default=0, metavar="S",
                            help="sampling seed")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="cross-run trends and regression checks from the run ledger",
+    )
+    p_stats.add_argument("--ledger", metavar="DIR", default=None,
+                         help="run-ledger directory "
+                              "(default: REPRO_LEDGER_DIR)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit trends and regressions as JSON")
+    p_stats.add_argument("--threshold", type=float, default=20.0,
+                         metavar="PCT",
+                         help="regression threshold as a percentage vs the "
+                              "rolling median (default: 20)")
+    p_stats.add_argument("--window", type=int, default=10, metavar="N",
+                         help="rolling-median window of prior runs per "
+                              "series (default: 10)")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_lint = sub.add_parser(
         "lint", help="static commutativity diagnostics (no execution)"

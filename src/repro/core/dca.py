@@ -596,11 +596,11 @@ class DcaAnalyzer:
             result.verdict = NON_COMMUTATIVE
         else:
             return False
-        result.decided_by = (
-            DECIDED_STATIC_SPECS
-            if getattr(verdict, "used_specs", False)
-            else DECIDED_STATIC
-        )
+        if getattr(verdict, "used_specs", False):
+            result.decided_by = DECIDED_STATIC_SPECS
+            self._obs.count("dca.static_specs_decisions")
+        else:
+            result.decided_by = DECIDED_STATIC
         result.reason = verdict.headline()
         result.max_trip = self._profiled_trips.get(label, 0)
         return True

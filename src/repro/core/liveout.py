@@ -20,6 +20,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import repro.obs as obs
 from repro.interp.values import ArrayObj, StructObj
 from repro.lang.types import BoolType, FloatType, IntType
 
@@ -157,6 +158,7 @@ def canonicalize_snapshot(
         if obj[0] == "struct" and obj[1] in chains:
             declared[i] = chains[obj[1]]
     if not declared:
+        obs.current().count("liveout.canonicalize.noop")
         return snapshot
 
     _IN_PROGRESS = ("chain-in-progress",)
@@ -239,7 +241,9 @@ def canonicalize_snapshot(
                 described.append(("array", tuple(rewrite(v) for v in obj[1])))
             k += 1
     except _Bail:
+        obs.current().count("liveout.canonicalize.bailed")
         return snapshot
+    obs.current().count("liveout.canonicalize.rewritten")
     return Snapshot(roots=new_roots, objects=tuple(described))
 
 

@@ -280,10 +280,13 @@ def _compiled_for_blob(module_blob: bytes) -> CompiledProgram:
     """Unpickle + closure-compile a module blob, cached per process."""
     program = _COMPILED_BLOB_CACHE.get(module_blob)
     if program is None:
+        obs.current().count("schedule.blob_cache.misses")
         program = compile_module(pickle.loads(module_blob))
         while len(_COMPILED_BLOB_CACHE) >= _COMPILED_BLOB_CACHE_MAX:
             _COMPILED_BLOB_CACHE.pop(next(iter(_COMPILED_BLOB_CACHE)))
         _COMPILED_BLOB_CACHE[module_blob] = program
+    else:
+        obs.current().count("schedule.blob_cache.hits")
     return program
 
 
@@ -551,6 +554,7 @@ class ProcessScheduleEngine(ScheduleEngine):
     def run(self, plans: Sequence[LoopPlan]) -> Dict[str, List[ScheduleOutcome]]:
         if not plans:
             return {}
+        ctx = obs.current()
         results: Dict[str, List[ScheduleOutcome]] = {
             plan.label: [cancelled_outcome(task) for task in plan.tasks]
             for plan in plans
@@ -559,6 +563,11 @@ class ProcessScheduleEngine(ScheduleEngine):
         fail_at: Dict[str, Optional[int]] = {plan.label: None for plan in plans}
         future_map: Dict[object, Tuple[LoopPlan, int]] = {}
         pool_broken = False
+
+        def note_queue_depth() -> None:
+            # Gauge, not counter: the exported value is the high-water
+            # view of the in-flight task window at the last transition.
+            ctx.gauge("schedule.queue_depth", len(future_map))
 
         def submit(plan: LoopPlan, index: int) -> None:
             try:
@@ -569,10 +578,13 @@ class ProcessScheduleEngine(ScheduleEngine):
                 # The shared pool died under an earlier batch; replace it
                 # and resubmit on the fresh one.
                 _discard_pool(self.jobs)
+                ctx.count("schedule.pool_rebuilds")
                 fut = _shared_pool(self.jobs).submit(
                     run_task_in_worker, plan.tasks[index]
                 )
             future_map[fut] = (plan, index)
+            ctx.count("schedule.tasks_submitted")
+            note_queue_depth()
 
         def collect(fut, plan: LoopPlan, index: int) -> ScheduleOutcome:
             nonlocal pool_broken
@@ -582,6 +594,7 @@ class ProcessScheduleEngine(ScheduleEngine):
                 return fut.result()
             except BrokenProcessPool:
                 pool_broken = True
+                ctx.count("schedule.worker_retries")
                 return self._retry_isolated(plan.tasks[index])
             except Exception as exc:  # submission/pickling failure
                 outcome = cancelled_outcome(plan.tasks[index])
@@ -607,6 +620,8 @@ class ProcessScheduleEngine(ScheduleEngine):
                     if p is plan and i > index and fut.cancel():
                         del future_map[fut]
                         results[plan.label][i] = cancelled_outcome(p.tasks[i])
+                        ctx.count("schedule.tasks_cancelled")
+                note_queue_depth()
 
         for plan in plans:
             submit(plan, 0)
@@ -614,6 +629,7 @@ class ProcessScheduleEngine(ScheduleEngine):
             done, _ = wait(set(future_map), return_when=FIRST_COMPLETED)
             for fut in done:
                 plan, index = future_map.pop(fut)
+                note_queue_depth()
                 handle(plan, index, collect(fut, plan, index))
             if pool_broken:
                 # The broken pool poisons every outstanding future; drain
@@ -623,6 +639,7 @@ class ProcessScheduleEngine(ScheduleEngine):
                     del future_map[fut]
                     handle(plan, index, collect(fut, plan, index))
                 _discard_pool(self.jobs)
+                ctx.count("schedule.pool_rebuilds")
                 pool_broken = False
         return results
 

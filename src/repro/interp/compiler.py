@@ -48,6 +48,7 @@ import os
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.interp.interpreter import (
     _DEFAULT_MAX_STEPS,
     _c_mod,
@@ -990,7 +991,9 @@ def compile_module(module: Module) -> CompiledProgram:
     entry = _MODULE_CACHE.get(key)
     if entry is not None and entry[0] is module:
         _MODULE_CACHE.move_to_end(key)
+        obs.current().count("compile.module_cache.hits")
         return entry[1]
+    obs.current().count("compile.module_cache.misses")
 
     program = CompiledProgram(module)
     for name, func in module.functions.items():
@@ -1081,18 +1084,30 @@ def create_executor(
     interpreter.
     """
     backend = resolve_exec_backend(exec_backend)
-    if backend == "compiled" and not observers and profiler is None:
-        if obs_enabled is None:
-            import repro.obs as obs_mod
-
-            obs_enabled = obs_mod.current().enabled
-        if not obs_enabled:
-            try:
-                return CompiledExecutor(
-                    compile_module(module), runtime=runtime, max_steps=max_steps
-                )
-            except CompileError:
-                pass
+    ctx = obs.current()
+    if backend == "compiled":
+        if observers:
+            ctx.count("exec.fallback.observers")
+        elif profiler is not None:
+            ctx.count("exec.fallback.profiler")
+        else:
+            if obs_enabled is None:
+                obs_enabled = ctx.enabled
+            if obs_enabled:
+                ctx.count("exec.fallback.obs-enabled")
+            else:
+                try:
+                    executor = CompiledExecutor(
+                        compile_module(module),
+                        runtime=runtime,
+                        max_steps=max_steps,
+                    )
+                except CompileError:
+                    ctx.count("exec.fallback.compile-error")
+                else:
+                    ctx.count("exec.backend.compiled")
+                    return executor
+    ctx.count("exec.backend.interp")
     return Interpreter(
         module,
         runtime=runtime,

@@ -39,11 +39,24 @@ from contextlib import contextmanager
 from typing import Callable, Dict, Optional
 
 from repro.obs.events import SEVERITIES, Event, EventLog
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    parse_openmetrics,
+    render_export,
+    render_openmetrics,
+)
+from repro.obs.ledger import (
+    LEDGER_DB_NAME,
+    LEDGER_DIR_ENV,
+    RunLedger,
+    resolve_ledger_dir,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
     "Counter",
+    "EXPORT_FORMATS",
     "Event",
     "EventLog",
     "Gauge",
@@ -51,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsContext",
+    "RunLedger",
     "SEVERITIES",
     "SpanRecord",
     "Tracer",
@@ -59,7 +73,13 @@ __all__ = [
     "enable",
     "enabled",
     "is_enabled",
+    "parse_openmetrics",
+    "render_export",
+    "render_openmetrics",
     "reset",
+    "LEDGER_DB_NAME",
+    "LEDGER_DIR_ENV",
+    "resolve_ledger_dir",
 ]
 
 

@@ -1,0 +1,249 @@
+"""Cross-subsystem observability tests.
+
+Covers the merge matrix (worker telemetry absorbed through
+``Tracer.absorb`` / ``MetricsRegistry.merge`` while the compiled exec
+backend and the process schedule backend are active together), the
+cache-counter reconciliation against ``CacheAccounting``, and the batch
+driver's guarantee that failed programs still appear in the merged
+trace.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.api import AnalysisConfig, AnalysisSession
+from repro.batch import (
+    STATUS_OK,
+    STATUS_WORKER_LOST,
+    ProgramOutcome,
+    _absorb_or_flush,
+)
+
+PROGRAM = """
+func void main() {
+  int[] data = new int[16];
+  for (int i = 0; i < 16; i = i + 1) { data[i] = i * 3; }
+  int s = 0;
+  for (int j = 0; j < 16; j = j + 1) { s += data[j]; }
+  print(s);
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+# -- merge matrix: process schedule backend x compiled exec backend ------------
+
+
+def test_worker_telemetry_merges_under_process_and_compiled(program_file):
+    config = AnalysisConfig(
+        backend="process", jobs=2, exec_backend="compiled",
+        static_filter=False,
+    )
+    try:
+        with AnalysisSession(config) as session:
+            report, ctx = session.profile(
+                open(program_file).read(), source_path=program_file
+            )
+    finally:
+        obs.disable()
+    assert report.schedule_executions > 0
+
+    # Tracer.absorb: worker spans land on nonzero lanes next to the
+    # coordinator's lane 0.
+    lanes = {span.lane for span in ctx.tracer.spans}
+    assert 0 in lanes
+    assert lanes - {0}, "expected worker spans on their own lanes"
+
+    # MetricsRegistry.merge: worker-side interpreter counters reach the
+    # coordinator registry alongside coordinator-side scheduler ones.
+    counters = ctx.metrics.to_dict()["counters"]
+    assert counters["interp.instructions"] > 0
+    assert counters["schedule.tasks_submitted"] == report.schedule_executions
+    # Compiled execution cannot observe, so under full observability
+    # every compiled request records a fallback — proving the exec
+    # backend instrumentation crossed the process boundary too.
+    assert counters["exec.fallback.obs-enabled"] >= 1
+    assert counters["exec.backend.interp"] >= 1
+
+
+def test_merged_totals_match_serial_run(program_file):
+    source = open(program_file).read()
+
+    def instructions(config):
+        try:
+            with AnalysisSession(config) as session:
+                _report, ctx = session.profile(
+                    source, source_path=program_file
+                )
+            return ctx.metrics.to_dict()["counters"]["interp.instructions"]
+        finally:
+            obs.disable()
+
+    serial = instructions(AnalysisConfig(static_filter=False))
+    merged = instructions(
+        AnalysisConfig(backend="process", jobs=2, static_filter=False)
+    )
+    assert merged == serial
+
+
+# -- cache counters reconcile with CacheAccounting -----------------------------
+
+
+def test_cache_registry_counters_reconcile_with_accounting(
+    program_file, tmp_path
+):
+    source = open(program_file).read()
+    config = AnalysisConfig(
+        cache_dir=str(tmp_path / "cache"), static_filter=False
+    )
+
+    def run():
+        try:
+            with AnalysisSession(config) as session:
+                return session.profile(source, source_path=program_file)
+        finally:
+            obs.disable()
+
+    for expectation in ("cold", "warm"):
+        report, ctx = run()
+        accounting = report.cache
+        counters = ctx.metrics.to_dict()["counters"]
+        assert accounting.enabled
+        assert counters.get("cache.hits", 0) == accounting.hits
+        assert counters.get("cache.misses", 0) == accounting.misses
+        assert counters.get("cache.invalidations", 0) == (
+            accounting.invalidations
+        )
+        assert counters.get("cache.stores", 0) == accounting.stores
+        assert counters.get("cache.lookups", 0) == (
+            accounting.hits + accounting.misses
+        )
+        if expectation == "cold":
+            assert accounting.misses > 0 and accounting.hits == 0
+        else:
+            assert accounting.hits > 0 and accounting.misses == 0
+
+
+def test_cache_store_lifetime_stats_match_session_traffic(tmp_path):
+    from repro.cache import AnalysisCache
+
+    directory = str(tmp_path / "cache")
+    with AnalysisCache(directory) as cache:
+        key = dict(module_digest="m" * 16, loop_id="L0", fingerprint="fp")
+        assert cache.lookup(**key) is None
+        cache.store(payload={"verdict": "commutative", "loop": "L0"}, **key)
+        assert cache.lookup(**key) is not None
+        stats = cache.stats()
+        assert stats["lifetime_lookups"] == 2
+        assert stats["lifetime_hits"] == 1
+        assert stats["lifetime_misses"] == 1
+        assert stats["lifetime_stores"] == 1
+        assert stats["lifetime_hit_rate"] == pytest.approx(0.5)
+    # Counters survive the close() flush into sqlite meta.
+    with AnalysisCache(directory, mode="ro") as reopened:
+        stats = reopened.stats()
+    assert stats["lifetime_lookups"] == 2
+    assert stats["lifetime_hits"] == 1
+
+
+# -- batch flush guarantee -----------------------------------------------------
+
+
+def outcome(status, obs_payload=None):
+    return ProgramOutcome(
+        path="lost.mc", index=3, status=status, error="pool broke",
+        wall_ms=5.0, obs=obs_payload,
+    )
+
+
+def test_worker_lost_outcome_gets_synthetic_span_and_event():
+    ctx = obs.enable()
+    try:
+        _absorb_or_flush(ctx, outcome(STATUS_WORKER_LOST), lane=4)
+        (span,) = ctx.tracer.spans
+        assert span.name == "batch.program"
+        assert span.lane == 4
+        assert span.args["synthetic"] is True
+        assert span.args["status"] == STATUS_WORKER_LOST
+        (event,) = ctx.events.events
+        assert event.severity == "error"
+        assert event.kind == "batch.telemetry-lost"
+        assert "lost.mc" in event.message
+    finally:
+        obs.disable()
+
+
+def test_shipped_payload_absorbs_instead_of_synthesizing():
+    payload = {
+        "pid": 123,
+        "spans": [{
+            "sid": 1, "parent": None, "name": "repro.compile",
+            "args": {}, "path": ["repro.compile"],
+            "start_us": 0.0, "dur_us": 10.0, "depth": 0,
+        }],
+        "metrics": {"counters": {"interp.runs": 2}},
+        "events": [],
+    }
+    ctx = obs.enable()
+    try:
+        out = outcome(STATUS_OK, obs_payload=payload)
+        _absorb_or_flush(ctx, out, lane=2)
+        assert out.obs is None, "payload must be dropped after absorption"
+        (span,) = ctx.tracer.spans
+        assert span.name == "repro.compile"
+        assert span.lane == 2
+        assert ctx.metrics.to_dict()["counters"]["interp.runs"] == 2
+        assert not ctx.events.events
+    finally:
+        obs.disable()
+
+
+def test_ok_outcome_without_payload_stays_silent():
+    ctx = obs.enable()
+    try:
+        _absorb_or_flush(ctx, outcome(STATUS_OK), lane=1)
+        assert not ctx.tracer.spans
+        assert not ctx.events.events
+    finally:
+        obs.disable()
+
+
+def test_disabled_context_drops_payload_quietly():
+    ctx = obs.current()
+    assert not ctx.enabled
+    out = outcome(STATUS_WORKER_LOST, obs_payload={"spans": []})
+    _absorb_or_flush(ctx, out, lane=1)
+    assert out.obs is None
+
+
+def test_pooled_batch_trace_includes_failed_programs(tmp_path):
+    good = tmp_path / "good.mc"
+    good.write_text(PROGRAM)
+    bad = tmp_path / "bad.mc"
+    bad.write_text("func void main() { this is not minic }")
+
+    config = AnalysisConfig(backend="process", jobs=2, obs=True)
+    ctx = obs.enable()
+    try:
+        with AnalysisSession(config) as session:
+            result = session.batch(paths=[str(good), str(bad)])
+        statuses = {o.path: o.status for o in result.outcomes}
+        assert statuses[str(good)] == STATUS_OK
+        assert statuses[str(bad)] != STATUS_OK
+        # Both programs own a lane in the merged trace — the parse
+        # failure ships its (error-bearing) telemetry too.
+        lanes = {span.lane for span in ctx.tracer.spans}
+        assert {1, 2} <= lanes
+        counters = ctx.metrics.to_dict()["counters"]
+        assert counters["batch.outcome.ok"] == 1
+        assert sum(
+            v for k, v in counters.items() if k.startswith("batch.outcome.")
+        ) == 2
+    finally:
+        obs.disable()

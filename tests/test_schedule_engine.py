@@ -341,10 +341,27 @@ def test_process_backend_merges_worker_obs():
     assert ctx.metrics.value("dca.snapshots") == report.snapshots_taken
 
 
+#: Instrument namespaces describing *how* the run executed rather than
+#: *what* the analysis computed.  Like wall timestamps and lanes, they
+#: legitimately differ between schedule/exec backends (queue depth,
+#: pool rebuilds, compile-cache traffic), so the cross-backend identity
+#: contract covers everything outside them.
+_STRATEGY_PREFIXES = ("schedule.", "exec.", "compile.")
+
+
+def _analysis_only(named: dict) -> dict:
+    return {
+        name: value
+        for name, value in named.items()
+        if not name.startswith(_STRATEGY_PREFIXES)
+    }
+
+
 def test_obs_aggregates_identical_across_backends():
-    """With zero clocks, span name/arg aggregates, metrics, and events
-    are identical between backends — the obs half of the determinism
-    contract (wall timestamps and lanes are presentation only)."""
+    """With zero clocks, span name/arg aggregates, analysis metrics, and
+    events are identical between backends — the obs half of the
+    determinism contract (wall timestamps, lanes, and execution-strategy
+    counters are presentation/ops only)."""
     def collect(backend, jobs):
         with obs.enabled(clock=_zero) as ctx:
             DcaAnalyzer(
@@ -358,7 +375,10 @@ def test_obs_aggregates_identical_across_backends():
                 (s.name, tuple(sorted((k, str(v)) for k, v in s.args.items())))
                 for s in ctx.tracer.spans
             )
-            metrics = ctx.metrics.to_dict()
+            metrics = {
+                kind: _analysis_only(named)
+                for kind, named in ctx.metrics.to_dict().items()
+            }
             events = [e.to_dict() for e in ctx.events.events]
         return spans, metrics, events
 

@@ -23,6 +23,18 @@ from pathlib import Path
 OBS_DIR = Path(__file__).resolve().parents[1] / "src" / "repro" / "obs"
 ALLOWED_PREFIXES = ("repro.obs",)
 
+#: Modules the subsystem is expected to ship; a rename or an
+#: accidentally-dropped file fails CI instead of silently narrowing the
+#: guard's coverage.
+REQUIRED_MODULES = (
+    "__init__.py",
+    "events.py",
+    "export.py",
+    "ledger.py",
+    "metrics.py",
+    "tracer.py",
+)
+
 
 def _root(name: str) -> str:
     return name.split(".", 1)[0]
@@ -62,6 +74,14 @@ def main() -> int:
     if not files:
         print(f"error: no modules found under {OBS_DIR}", file=sys.stderr)
         return 2
+    present = {path.name for path in files}
+    missing = [name for name in REQUIRED_MODULES if name not in present]
+    if missing:
+        print(
+            f"error: expected obs modules missing: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 1
     violations = []
     for path in files:
         violations.extend(check_file(path))
