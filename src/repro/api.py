@@ -55,7 +55,7 @@ from repro.core.dca import DcaAnalyzer
 from repro.core.report import DcaReport
 from repro.core.schedule_engine import resolve_schedule_backend
 from repro.core.schedules import ScheduleConfig
-from repro.interp.compiler import resolve_exec_backend
+from repro.interp.compiler import EXEC_BACKENDS, resolve_exec_backend
 from repro.ir.function import Module
 
 __all__ = [
@@ -96,7 +96,8 @@ class AnalysisConfig:
     #: None defers to the environment, then the defaults.
     backend: Optional[str] = None
     jobs: Optional[int] = None
-    #: Execution backend for observer-free runs ("interp"/"compiled").
+    #: Execution backend for observer-free runs (one of
+    #: :data:`repro.interp.compiler.EXEC_BACKENDS`).
     exec_backend: Optional[str] = None
     #: Record spans/metrics/events during session operations.
     obs: bool = False
@@ -123,7 +124,11 @@ class AnalysisConfig:
             raise ValueError(f"unknown cache mode {self.cache_mode!r}")
         if self.backend not in (None, "serial", "process"):
             raise ValueError(f"unknown schedule backend {self.backend!r}")
-        if self.exec_backend not in (None, "interp", "compiled"):
+        # Validate against the backend registry, not a local copy: the
+        # explicit field must accept exactly what REPRO_EXEC_BACKEND
+        # accepts, or the documented explicit-beats-env precedence
+        # silently inverts for backends missing from the copy.
+        if self.exec_backend is not None and self.exec_backend not in EXEC_BACKENDS:
             raise ValueError(f"unknown exec backend {self.exec_backend!r}")
         # Frozen dataclasses hash by field tuple; normalize silently
         # mutable aliases so value semantics hold.

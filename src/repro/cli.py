@@ -18,8 +18,9 @@ strict|eventual``, ``--cores N`` (adds a simulated speedup to analyze),
 the static pre-screen and run every loop dynamically), ``--backend
 serial|process`` / ``--jobs N`` (fan schedule executions out to worker
 processes; ``--jobs N`` alone implies the process backend),
-``--exec-backend interp|compiled`` (closure-compile observer-free
-executions instead of tree-walking them; env ``REPRO_EXEC_BACKEND``).
+``--exec-backend interp|compiled|codegen`` (closure-compile or
+Python-source-compile observer-free executions instead of tree-walking
+them; env ``REPRO_EXEC_BACKEND``).
 
 Flags always beat the matching ``REPRO_*`` environment variables (see
 ``repro.api`` for the full precedence order).
@@ -59,6 +60,7 @@ import sys
 from typing import List, Optional
 
 from repro.driver import compile_program, run_program
+from repro.interp.compiler import EXEC_BACKENDS
 
 
 def _read(path: str) -> str:
@@ -562,10 +564,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--entry", default="main")
 
     def exec_backend_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--exec-backend", choices=("interp", "compiled"),
+        # Choices derive from the backend registry so a new backend is
+        # reachable from the flag the moment it exists — the explicit
+        # flag must never accept less than REPRO_EXEC_BACKEND does.
+        p.add_argument("--exec-backend", choices=EXEC_BACKENDS,
                        default=None, dest="exec_backend",
                        help="execution backend for observer-free runs: "
-                            "tree-walking interpreter or closure-compiled "
+                            "tree-walking interpreter, closure-compiled, "
+                            "or Python-source codegen "
                             "(default: interp, or REPRO_EXEC_BACKEND)")
 
     def engine_flags(p: argparse.ArgumentParser) -> None:

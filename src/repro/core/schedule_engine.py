@@ -170,9 +170,10 @@ class ScheduleTask:
     obs_enabled: bool = False
     #: Testing hook: one of :data:`FAULT_STYLES`, fired before execution.
     inject_fault: Optional[str] = None
-    #: Execution backend: ``interp`` (tree-walking) or ``compiled``
-    #: (closure-compiled; falls back to interp whenever observability is
-    #: enabled — compiled execution records no per-run obs metrics).
+    #: Execution backend: ``interp`` (tree-walking), ``compiled``
+    #: (closure-compiled) or ``codegen`` (Python-source codegen); the
+    #: compiled tiers fall back to interp whenever observability is
+    #: enabled — they record no per-run obs metrics.
     exec_backend: str = "interp"
 
     @property
@@ -290,6 +291,27 @@ def _compiled_for_blob(module_blob: bytes) -> CompiledProgram:
     return program
 
 
+#: Same policy for codegen-compiled programs (see above): one codegen
+#: compile (or disk-artifact load) per worker process per module blob.
+_CODEGEN_BLOB_CACHE: Dict[bytes, object] = {}
+
+
+def _codegen_for_blob(module_blob: bytes):
+    """Unpickle + codegen-compile a module blob, cached per process."""
+    from repro.interp.codegen import compile_module_codegen
+
+    program = _CODEGEN_BLOB_CACHE.get(module_blob)
+    if program is None:
+        obs.current().count("schedule.codegen_blob_cache.misses")
+        program = compile_module_codegen(pickle.loads(module_blob))
+        while len(_CODEGEN_BLOB_CACHE) >= _COMPILED_BLOB_CACHE_MAX:
+            _CODEGEN_BLOB_CACHE.pop(next(iter(_CODEGEN_BLOB_CACHE)))
+        _CODEGEN_BLOB_CACHE[module_blob] = program
+    else:
+        obs.current().count("schedule.codegen_blob_cache.hits")
+    return program
+
+
 def execute_task(
     task: ScheduleTask,
     clock: Optional[Callable[[], float]] = None,
@@ -329,6 +351,17 @@ def execute_task(
         try:
             interp = CompiledExecutor(
                 _compiled_for_blob(task.module_blob),
+                runtime=runtime,
+                max_steps=task.max_steps,
+            )
+        except CompileError:
+            interp = None
+    elif task.exec_backend == "codegen" and not obs_ctx.enabled:
+        from repro.interp.codegen import CodegenExecutor
+
+        try:
+            interp = CodegenExecutor(
+                _codegen_for_blob(task.module_blob),
                 runtime=runtime,
                 max_steps=task.max_steps,
             )

@@ -41,9 +41,10 @@ def run_program(
     """Compile (if needed) and execute a program.
 
     Returns ``(return_value, captured_stdout)``.  ``exec_backend``
-    selects tree-walking interpretation (``interp``, the default) or the
-    closure-compiled backend (``compiled``); falls back to the
-    ``REPRO_EXEC_BACKEND`` environment variable.
+    selects tree-walking interpretation (``interp``, the default), the
+    closure-compiled backend (``compiled``) or the Python-source codegen
+    backend (``codegen``); falls back to the ``REPRO_EXEC_BACKEND``
+    environment variable.
     """
     from repro.interp.compiler import create_executor
 

@@ -1,6 +1,14 @@
 """Instrumentable IR interpreter, heap model, events, profiler, and the
-closure-compiled execution backend."""
+closure-compiled and Python-source-codegen execution backends."""
 
+from repro.interp.codegen import (
+    CodegenExecutor,
+    CodegenProgram,
+    codegen_stats,
+    compile_module_codegen,
+    module_digest,
+    resolve_codegen_cache_dir,
+)
 from repro.interp.compiler import (
     CompiledExecutor,
     CompiledProgram,
@@ -23,6 +31,8 @@ from repro.interp.values import (
 
 __all__ = [
     "ArrayObj",
+    "CodegenExecutor",
+    "CodegenProgram",
     "CompileError",
     "CompiledExecutor",
     "CompiledProgram",
@@ -35,9 +45,13 @@ __all__ = [
     "Profiler",
     "RuntimeHooks",
     "StructObj",
+    "codegen_stats",
     "compile_module",
+    "compile_module_codegen",
     "create_executor",
     "format_value",
+    "module_digest",
+    "resolve_codegen_cache_dir",
     "resolve_exec_backend",
     "truthy",
 ]

@@ -104,8 +104,10 @@ __all__ = [
 #: run the whole suite under the compiled backend).
 EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
 
-#: Supported execution backends.
-EXEC_BACKENDS = ("interp", "compiled")
+#: Supported execution backends.  Single source of truth: CLI choices
+#: and :class:`repro.api.AnalysisConfig` validation both derive from
+#: this tuple, so a backend added here is reachable from every surface.
+EXEC_BACKENDS = ("interp", "compiled", "codegen")
 
 
 def resolve_exec_backend(backend: Optional[str] = None) -> str:
@@ -1076,16 +1078,16 @@ def create_executor(
 ):
     """Build an executor for ``module`` honouring the fallback rules.
 
-    The compiled backend is used only when it can be *exactly* faithful:
-    no memory/loop observers, no profiler, and the observability context
-    disabled (the interpreter tallies per-run instruction and intrinsic
-    metrics that compiled execution does not reproduce).  Everything else
-    — including a module the compiler rejects — gets the tree-walking
-    interpreter.
+    The compiled and codegen backends are used only when they can be
+    *exactly* faithful: no memory/loop observers, no profiler, and the
+    observability context disabled (the interpreter tallies per-run
+    instruction and intrinsic metrics that compiled execution does not
+    reproduce).  Everything else — including a module the compiler
+    rejects — gets the tree-walking interpreter.
     """
     backend = resolve_exec_backend(exec_backend)
     ctx = obs.current()
-    if backend == "compiled":
+    if backend != "interp":
         if observers:
             ctx.count("exec.fallback.observers")
         elif profiler is not None:
@@ -1095,6 +1097,24 @@ def create_executor(
                 obs_enabled = ctx.enabled
             if obs_enabled:
                 ctx.count("exec.fallback.obs-enabled")
+            elif backend == "codegen":
+                # Imported lazily: codegen imports this module's helpers.
+                from repro.interp.codegen import (
+                    CodegenExecutor,
+                    compile_module_codegen,
+                )
+
+                try:
+                    executor = CodegenExecutor(
+                        compile_module_codegen(module),
+                        runtime=runtime,
+                        max_steps=max_steps,
+                    )
+                except CompileError:
+                    ctx.count("exec.fallback.compile-error")
+                else:
+                    ctx.count("exec.backend.codegen")
+                    return executor
             else:
                 try:
                     executor = CompiledExecutor(

@@ -7,9 +7,10 @@ program:
 
 1. **Backend equality** — the full JSON report (verdicts, provenance,
    reasons, counters, digests) must be byte-identical between the
-   serial and the process schedule backends AND between the interpreter
-   and the closure-compiled execution backend (serial and process).
-   All runs use a zero clock so timing fields cannot differ.
+   serial and the process schedule backends AND across all three
+   execution backends: interpreter, closure-compiled, and Python-source
+   codegen (each on both schedule backends).  All runs use a zero clock
+   so timing fields cannot differ.
 2. **Static agreement** — where the static prover *proves* a verdict,
    the dynamic oracle must not contradict it (same contract as
    ``tests/test_static_commutativity.py``): a commutativity proof is
@@ -123,27 +124,32 @@ def differential_check(
         backend="process",
         jobs=jobs,
     ).analyze()
-    # Exec-backend axis: the closure-compiled backend must reproduce the
-    # interpreter's report byte-for-byte, on both schedule backends.
-    compiled_serial = DcaAnalyzer(
-        compile_program(source), static_filter=False, clock=_zero,
-        backend="serial", exec_backend="compiled",
-    ).analyze()
-    compiled_process = DcaAnalyzer(
-        compile_program(source),
-        static_filter=False,
-        clock=_zero,
-        backend="process",
-        jobs=jobs,
-        exec_backend="compiled",
-    ).analyze()
+    # Exec-backend axis: the closure-compiled and codegen backends must
+    # reproduce the interpreter's report byte-for-byte, on both schedule
+    # backends.
+    exec_variants = []
+    for exec_backend in ("compiled", "codegen"):
+        exec_variants.append((
+            f"{exec_backend}-serial",
+            DcaAnalyzer(
+                compile_program(source), static_filter=False, clock=_zero,
+                backend="serial", exec_backend=exec_backend,
+            ).analyze(),
+        ))
+        exec_variants.append((
+            f"{exec_backend}-process",
+            DcaAnalyzer(
+                compile_program(source),
+                static_filter=False,
+                clock=_zero,
+                backend="process",
+                jobs=jobs,
+                exec_backend=exec_backend,
+            ).analyze(),
+        ))
 
     j_serial = serial.to_json()
-    for name, other in (
-        ("process", process),
-        ("compiled-serial", compiled_serial),
-        ("compiled-process", compiled_process),
-    ):
+    for name, other in [("process", process)] + exec_variants:
         j_other = other.to_json()
         if j_serial != j_other:
             diff = "\n".join(

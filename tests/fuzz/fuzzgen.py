@@ -16,6 +16,12 @@ execution orders:
 * ``pointer_chase`` — heap building (order-dependent structure) plus a
   pointer traversal whose payload commutes, the paper's motivating case
   for dynamic over static analysis;
+* ``call_chain`` / ``permuted_fault`` / ``step_burner`` — execution
+  backend stressors: deep helper-call chains (cross-frame step
+  accounting), an order-sensitive divisor whose divide-by-zero fault
+  can appear only under some schedules (fault paths mid-replay), and a
+  nested busy loop whose per-iteration step count is large enough that
+  an externally imposed ``max_steps`` exhausts mid-loop;
 * ``bag_insert`` / ``set_insert`` / ``bag_insert_global`` — container
   building over the *declared* ``BagNode``/``SetNode`` types: byte-exact
   verification calls them non-commutative (the chain permutes with the
@@ -52,6 +58,9 @@ ARCHETYPES = (
     ("bag_insert", 2),
     ("set_insert", 2),
     ("bag_insert_global", 1),
+    ("call_chain", 2),
+    ("permuted_fault", 2),
+    ("step_burner", 2),
 )
 
 
@@ -62,9 +71,18 @@ class _Emitter:
         self.body: list[str] = []
         self.prints: list[str] = []
         self.globals: list[str] = []
+        self.funcs: list[str] = []
+        #: (c1, c2, mod) of the shared input fill; lets archetypes
+        #: simulate the golden-order values at generation time.
+        self.fill: tuple[int, int, int] = (0, 0, 1)
         self.needs_node = False
         self.needs_bag = False
         self.needs_set = False
+
+    def input_values(self) -> list[int]:
+        """The deterministic contents of the shared input array ``a``."""
+        c1, c2, mod = self.fill
+        return [(i * c1 + c2) % mod - mod // 2 for i in range(self.n)]
 
     def line(self, text: str) -> None:
         self.body.append(f"  {text}")
@@ -259,6 +277,84 @@ def _emit_bag_insert_global(e: _Emitter, k: int) -> None:
     e.prints.append(f"gt{k}")
 
 
+def _emit_call_chain(e: _Emitter, k: int) -> None:
+    # Deep helper-call chain (binary fan-out): stresses cross-frame step
+    # accounting — the codegen backend flushes its local step counter to
+    # the shared state at every call and resyncs on return, and any
+    # drift shows up as a report divergence.
+    depth = e.rng.randint(3, 5)
+    c = e.rng.randint(2, 7)
+    e.funcs.append(f"func int f{k}_0(int x) {{ return x * {c} + 1; }}")
+    for d in range(1, depth):
+        e.funcs.append(
+            f"func int f{k}_{d}(int x) "
+            f"{{ return f{k}_{d - 1}(x) + f{k}_{d - 1}(x - 1); }}"
+        )
+    e.line(f"int cc{k} = 0;")
+    e.for_loop([f"cc{k} += f{k}_{depth - 1}(a[i]);"])
+    e.prints.append(f"cc{k}")
+
+
+def _emit_permuted_fault(e: _Emitter, k: int) -> None:
+    # Order-sensitive divisor: the running value depends on iteration
+    # order, so a divide-by-zero can fire in a permuted replay (verdict
+    # ``runtime-fault``) without ever firing in the golden run —
+    # stressing the backends' fault paths (exact messages, fault-site
+    # provenance, step accounting at the faulting instruction) under
+    # schedule permutation.  The constant is chosen by simulating the
+    # golden order so the top-level execution itself never faults.
+    vals = e.input_values()
+    start = e.rng.randint(1, 4)
+    safe_c = None
+    for c in range(start, start + 12):
+        dv = c
+        ok = True
+        for v in vals:
+            dv = v - dv
+            if dv + c == 0:
+                ok = False
+                break
+        if ok:
+            safe_c = c
+            break
+    if safe_c is None:
+        # No golden-safe constant in range (practically unreachable):
+        # fall back to a divisor that can never be zero.
+        divisor = f"(abs(dv{k}) + 1)"
+        safe_c = start
+    else:
+        divisor = f"(dv{k} + {safe_c})"
+    e.line(f"int dv{k} = {safe_c};")
+    e.line(f"int fr{k} = 0;")
+    e.for_loop(
+        [
+            f"dv{k} = a[i] - dv{k};",
+            f"fr{k} += 100 / {divisor} + a[i] % (abs(dv{k}) + 1);",
+        ]
+    )
+    e.prints.append(f"fr{k}")
+
+
+def _emit_step_burner(e: _Emitter, k: int) -> None:
+    # Nested busy loop with a large per-iteration step count: under an
+    # externally imposed max_steps (tests/test_codegen.py sweeps one)
+    # the limit exhausts mid-loop, where the codegen backend must charge
+    # and check steps exactly like the interpreter.  Also the hot-loop
+    # stress for the dispatch-free inlined loop bodies.
+    inner = e.rng.randint(8, 20)
+    e.line(f"int sb{k} = 0;")
+    e.for_loop(
+        [
+            "int t = 0;",
+            f"while (t < {inner}) {{",
+            f"  sb{k} += (t * a[i]) % 7;",
+            "  t = t + 1;",
+            "}",
+        ]
+    )
+    e.prints.append(f"sb{k}")
+
+
 _EMITTERS = {
     "map": _emit_map,
     "reduction": _emit_reduction,
@@ -273,6 +369,9 @@ _EMITTERS = {
     "bag_insert": _emit_bag_insert,
     "set_insert": _emit_set_insert,
     "bag_insert_global": _emit_bag_insert_global,
+    "call_chain": _emit_call_chain,
+    "permuted_fault": _emit_permuted_fault,
+    "step_burner": _emit_step_burner,
 }
 
 
@@ -288,6 +387,7 @@ def generate_program(seed: int) -> str:
 
     # Shared input array with a mildly irregular but deterministic fill.
     c1, c2, mod = rng.randint(3, 11), rng.randint(1, 13), rng.randint(17, 37)
+    e.fill = (c1, c2, mod)
     e.line(f"int[] a = new int[{n}];")
     e.for_loop([f"a[i] = (i * {c1} + {c2}) % {mod} - {mod // 2};"])
 
@@ -305,6 +405,9 @@ def generate_program(seed: int) -> str:
         lines.append("")
     if e.needs_set:
         lines.append("struct SetNode { int key; SetNode* next; }")
+        lines.append("")
+    if e.funcs:
+        lines.extend(e.funcs)
         lines.append("")
     lines.extend(e.globals)
     lines.append("func void main() {")

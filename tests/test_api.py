@@ -162,9 +162,16 @@ def test_explicit_single_job_stays_serial(monkeypatch):
 
 
 def test_explicit_exec_backend_beats_env(monkeypatch):
-    monkeypatch.setenv("REPRO_EXEC_BACKEND", "compiled")
-    assert resolve_exec_backend("interp") == "interp"
-    assert resolve_exec_backend(None) == "compiled"
+    # The explicit argument must beat REPRO_EXEC_BACKEND for every
+    # backend pairing — the same precedence contract documented on
+    # resolve_schedule_backend.
+    from repro.interp.compiler import EXEC_BACKENDS
+
+    for env_choice in EXEC_BACKENDS:
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", env_choice)
+        assert resolve_exec_backend(None) == env_choice
+        for explicit in EXEC_BACKENDS:
+            assert resolve_exec_backend(explicit) == explicit
 
 
 def test_config_resolution_uses_precedence(monkeypatch):
@@ -173,6 +180,11 @@ def test_config_resolution_uses_precedence(monkeypatch):
     config = AnalysisConfig(jobs=2, exec_backend="interp")
     assert config.resolved_backend() == ("process", 2)
     assert config.resolved_exec_backend() == "interp"
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "codegen")
+    assert AnalysisConfig().resolved_exec_backend() == "codegen"
+    assert AnalysisConfig(
+        exec_backend="compiled"
+    ).resolved_exec_backend() == "compiled"
 
 
 def test_cache_mode_off_ignores_env_dir(monkeypatch, tmp_path):

@@ -1,0 +1,426 @@
+"""Python-source codegen execution backend: parity with the interpreter.
+
+Same contract as the closure backend (tests/test_compiler.py) — exact
+observable equivalence: results, printed output, step accounting, and
+byte-identical fault messages — plus the codegen-only surface: the
+on-disk artifact cache (warm loads, tamper detection) and pickling of
+codegen tasks into process workers.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.core.dca import DcaAnalyzer
+from repro.driver import compile_program, run_program
+from repro.interp import (
+    CodegenExecutor,
+    CompileError,
+    Interpreter,
+    MiniCRuntimeError,
+    compile_module_codegen,
+    create_executor,
+    module_digest,
+    resolve_exec_backend,
+)
+from repro.interp.codegen import (
+    CODEGEN_CACHE_ENV,
+    _artifact_path,
+    codegen_source,
+    codegen_stats,
+    resolve_codegen_cache_dir,
+)
+from repro.interp.compiler import EXEC_BACKEND_ENV, EXEC_BACKENDS
+from repro.interp.events import Observer
+from repro.interp.profiler import Profiler
+
+from test_compiler import FAULT_PROGRAMS
+
+CORPUS = sorted(
+    glob.glob(
+        os.path.join(os.path.dirname(__file__), "fuzz", "corpus", "*.mc")
+    )
+)
+
+
+def _zero():
+    return 0.0
+
+
+def _outcome(executor, entry, args):
+    try:
+        result = executor.run(entry, args)
+        return ("ok", result, executor.output_text(), executor.steps)
+    except MiniCRuntimeError as exc:
+        return ("fault", str(exc), executor.output_text(), executor.steps)
+
+
+def assert_parity(source, entry="main", args=None, max_steps=None):
+    module = compile_program(source)
+    interp = Interpreter(module, max_steps=max_steps)
+    codegen = CodegenExecutor(module, max_steps=max_steps)
+    oi = _outcome(interp, entry, list(args or []))
+    oc = _outcome(codegen, entry, list(args or []))
+    assert oi == oc, f"backend divergence:\ninterp  {oi}\ncodegen {oc}"
+    return oi
+
+
+# -- result / output / step / fault parity -----------------------------------
+
+
+def test_arithmetic_parity():
+    kind, result, out, steps = assert_parity(
+        """
+        func int main() {
+            int acc = 0;
+            for (int i = 0; i < 10; i = i + 1) { acc = acc + i * i; }
+            print(acc, 7 / 2, -7 / 2, 7 % 3, -7 % 3, 1.0 / 4.0);
+            return acc;
+        }
+        """
+    )
+    assert kind == "ok" and result == 285
+
+
+def test_call_chain_step_parity():
+    src = """
+    func int leaf(int x) { return x * 3 + 1; }
+    func int mid(int x) { return leaf(x) + leaf(x - 1); }
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 20; i = i + 1) { acc = acc + mid(i); }
+        return acc;
+    }
+    """
+    module = compile_program(src)
+    interp = Interpreter(module)
+    codegen = CodegenExecutor(module)
+    assert interp.run("main", []) == codegen.run("main", [])
+    assert interp.steps == codegen.steps
+
+
+@pytest.mark.parametrize(
+    "source", [p[1] for p in FAULT_PROGRAMS], ids=[p[0] for p in FAULT_PROGRAMS]
+)
+def test_fault_message_parity(source):
+    kind, message, _out, _steps = assert_parity(source)
+    assert kind == "fault"
+
+
+def test_fault_messages_include_line_numbers():
+    src = "struct P { int x; }\nfunc int main() { P* p = null;\n    return p.x; }"
+    kind, message, _o, _s = assert_parity(src)
+    assert kind == "fault"
+    assert "null dereference reading .x (line 3)" == message
+
+
+def test_undefined_register_message_parity():
+    # A loop body that reads a register only written on a path the
+    # schedule never took surfaces as the interpreter's undefined-read
+    # fault; codegen maps the natural UnboundLocalError back to the
+    # same message.
+    src = """
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 4; i = i + 1) {
+            int v = 0;
+            if (i > 1) { v = i; }
+            acc = acc + v;
+        }
+        return acc;
+    }
+    """
+    assert_parity(src)
+
+
+def test_step_limit_fires_at_same_step():
+    src = """
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) { acc = acc + 1; }
+        return acc;
+    }
+    """
+    module = compile_program(src)
+    baseline = Interpreter(module)
+    baseline.run("main", [])
+    for budget in (baseline.steps - 1, baseline.steps // 2, 7):
+        oi = _outcome(Interpreter(module, max_steps=budget), "main", [])
+        oc = _outcome(CodegenExecutor(module, max_steps=budget), "main", [])
+        assert oi == oc
+        assert oi[0] == "fault" and oi[1] == "step limit exceeded"
+
+
+def test_step_limit_exhausts_mid_nested_loop():
+    # The step_burner fuzz archetype shape: a nested busy loop where a
+    # small budget dies mid-inner-loop; interp and codegen must agree on
+    # the exact step count at the fault.
+    src = """
+    func int main() {
+        int acc = 0;
+        for (int i = 0; i < 12; i = i + 1) {
+            int t = 0;
+            while (t < 15) { acc = acc + (t * i) % 7; t = t + 1; }
+        }
+        return acc;
+    }
+    """
+    for budget in (11, 50, 333):
+        assert_parity(src, max_steps=budget)
+
+
+def test_missing_entry_and_arity_messages():
+    src = "func int add(int a, int b) { return a + b; }"
+    module = compile_program(src)
+    for make in (lambda: Interpreter(module), lambda: CodegenExecutor(module)):
+        with pytest.raises(MiniCRuntimeError, match=r"no function named 'nope'"):
+            make().run("nope", [])
+        with pytest.raises(MiniCRuntimeError, match=r"add expects 2 args, got 1"):
+            make().run("add", [1])
+    assert Interpreter(module).run("add", [2, 3]) == CodegenExecutor(
+        module
+    ).run("add", [2, 3])
+
+
+# -- backend selection seam --------------------------------------------------
+
+
+def test_codegen_in_exec_backends():
+    assert "codegen" in EXEC_BACKENDS
+
+
+def test_resolve_exec_backend_codegen(monkeypatch):
+    monkeypatch.delenv(EXEC_BACKEND_ENV, raising=False)
+    assert resolve_exec_backend("codegen") == "codegen"
+    monkeypatch.setenv(EXEC_BACKEND_ENV, "codegen")
+    assert resolve_exec_backend(None) == "codegen"
+    # Explicit flag beats the env var for every backend.
+    for explicit in EXEC_BACKENDS:
+        assert resolve_exec_backend(explicit) == explicit
+
+
+def test_create_executor_codegen_and_fallback():
+    module = compile_program("func int main() { return 41 + 1; }")
+    codegen = create_executor(module, exec_backend="codegen")
+    assert isinstance(codegen, CodegenExecutor)
+    assert codegen.run("main", []) == 42
+    # Observers, profilers, and enabled obs need the interpreter's event
+    # stream: codegen falls back exactly like the closure backend.
+    assert isinstance(
+        create_executor(module, observers=[Observer()], exec_backend="codegen"),
+        Interpreter,
+    )
+    assert isinstance(
+        create_executor(module, profiler=Profiler(), exec_backend="codegen"),
+        Interpreter,
+    )
+    assert isinstance(
+        create_executor(module, exec_backend="codegen", obs_enabled=True),
+        Interpreter,
+    )
+
+
+def test_run_program_codegen_backend():
+    src = 'func void main() { print("hi", 1 + 1); }'
+    assert run_program(src, exec_backend="codegen") == (None, "hi 2\n")
+
+
+# -- disk artifact cache -----------------------------------------------------
+
+
+def _fresh(src):
+    """A fresh Module object (new id) for the same source text."""
+    return compile_program(src)
+
+
+SRC = """
+func int main() {
+    int acc = 0;
+    for (int i = 0; i < 9; i = i + 1) { acc = acc + i * 2; }
+    print(acc);
+    return acc;
+}
+"""
+
+
+def test_disk_cache_cold_then_warm(tmp_path):
+    cache_dir = str(tmp_path)
+    before = dict(codegen_stats())
+    compile_module_codegen(_fresh(SRC), cache_dir=cache_dir)
+    mid = dict(codegen_stats())
+    assert mid["compiles"] - before["compiles"] == 1
+    assert mid["disk_misses"] - before["disk_misses"] == 1
+    digest = module_digest(_fresh(SRC))
+    assert os.path.exists(_artifact_path(cache_dir, digest))
+
+    # A fresh module object defeats the id-keyed memo; the digest-keyed
+    # artifact must serve the compile.
+    program = compile_module_codegen(_fresh(SRC), cache_dir=cache_dir)
+    after = dict(codegen_stats())
+    assert after["compiles"] == mid["compiles"]
+    assert after["disk_hits"] - mid["disk_hits"] == 1
+    executor = CodegenExecutor(program)
+    assert executor.run("main", []) == 72
+    assert executor.output_text() == "72\n"
+
+
+def test_disk_cache_env_resolution(tmp_path, monkeypatch):
+    monkeypatch.setenv(CODEGEN_CACHE_ENV, str(tmp_path / "fromenv"))
+    assert resolve_codegen_cache_dir(None) == str(tmp_path / "fromenv")
+    # Explicit argument beats the env; empty string disables.
+    assert resolve_codegen_cache_dir(str(tmp_path / "arg")) == str(
+        tmp_path / "arg"
+    )
+    assert resolve_codegen_cache_dir("") is None
+    monkeypatch.delenv(CODEGEN_CACHE_ENV, raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "base"))
+    assert resolve_codegen_cache_dir(None) == str(tmp_path / "base" / "codegen")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert resolve_codegen_cache_dir(None) is None
+
+
+@pytest.mark.parametrize(
+    "tamper",
+    ["flip-payload", "truncate", "garbage", "wrong-magic"],
+)
+def test_disk_cache_tamper_recompiles_never_wrong(tmp_path, tamper):
+    cache_dir = str(tmp_path)
+    compile_module_codegen(_fresh(SRC), cache_dir=cache_dir)
+    digest = module_digest(_fresh(SRC))
+    path = _artifact_path(cache_dir, digest)
+    blob = open(path, "rb").read()
+    if tamper == "flip-payload":
+        corrupted = blob[:-3] + bytes([blob[-3] ^ 0xFF]) + blob[-2:]
+    elif tamper == "truncate":
+        corrupted = blob[: len(blob) // 2]
+    elif tamper == "garbage":
+        corrupted = b"\x00" * len(blob)
+    else:
+        corrupted = b"XXXX" + blob[4:]
+    with open(path, "wb") as fh:
+        fh.write(corrupted)
+
+    before = dict(codegen_stats())
+    program = compile_module_codegen(_fresh(SRC), cache_dir=cache_dir)
+    after = dict(codegen_stats())
+    # The corrupt artifact is rejected (a miss, never an exception or a
+    # wrong program) and the module recompiles from source.
+    assert after["compiles"] - before["compiles"] == 1
+    assert after["disk_misses"] - before["disk_misses"] == 1
+    executor = CodegenExecutor(program)
+    assert executor.run("main", []) == 72
+    assert executor.output_text() == "72\n"
+    # The rewrite repaired the artifact for the next cold process.
+    assert open(path, "rb").read() == blob
+
+
+def test_codegen_source_is_deterministic():
+    a = codegen_source(compile_program(SRC))
+    b = codegen_source(compile_program(SRC))
+    assert a == b
+    assert "def _fn_0_main" in a
+
+
+def test_compile_error_for_unknown_shape():
+    class Bogus:
+        pass
+
+    module = compile_program(SRC)
+    module.functions["main"].blocks[
+        module.functions["main"].entry
+    ].instrs.insert(0, Bogus())
+    with pytest.raises(CompileError):
+        compile_module_codegen(module, cache_dir="")
+
+
+# -- analyzer integration ----------------------------------------------------
+
+
+def test_codegen_analyzer_report_matches_interp():
+    src = """
+    func int main() {
+        int[] data = new int[16];
+        int acc = 0;
+        for (int i = 0; i < len(data); i = i + 1) { data[i] = i * 3; }
+        for (int i = 0; i < len(data); i = i + 1) { acc = acc + data[i]; }
+        print(acc);
+        return acc;
+    }
+    """
+    ri = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="interp",
+    ).analyze()
+    rc = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="codegen",
+    ).analyze()
+    assert ri.to_json() == rc.to_json()
+    assert rc.exec_backend == "codegen"
+
+
+def test_codegen_pickles_into_process_workers():
+    # Process workers receive the module as a pickled blob and compile
+    # codegen programs worker-side; the report must match serial interp.
+    src = open(CORPUS[0]).read()
+    serial = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        backend="serial", exec_backend="interp",
+    ).analyze()
+    process = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        backend="process", jobs=2, exec_backend="codegen",
+    ).analyze()
+    assert serial.to_json() == process.to_json()
+
+
+def test_corpus_warm_disk_replay_byte_identical(tmp_path, monkeypatch):
+    # Corpus program, cold then warm artifact cache: the warm analysis
+    # compiles zero modules and its report stays byte-identical to the
+    # interpreter's.
+    monkeypatch.setenv(CODEGEN_CACHE_ENV, str(tmp_path))
+    path = next(p for p in CORPUS if "permuted_fault" in p)
+    src = open(path).read()
+    interp = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="interp",
+    ).analyze()
+    cold = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="codegen",
+    ).analyze()
+    before = dict(codegen_stats())
+    warm = DcaAnalyzer(
+        compile_program(src), static_filter=False, clock=_zero,
+        exec_backend="codegen",
+    ).analyze()
+    after = dict(codegen_stats())
+    assert interp.to_json() == cold.to_json() == warm.to_json()
+    assert after["compiles"] == before["compiles"]
+    assert after["disk_hits"] > before["disk_hits"]
+
+
+def test_profile_falls_back_to_interp_on_corpus_program():
+    # --profile needs the interpreter's event stream; with the codegen
+    # backend requested the session must still produce correct verdicts
+    # (execution falls back, analysis does not degrade).
+    import repro.obs as obs
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    path = CORPUS[0]
+    src = open(path).read()
+    with open(path.replace(".mc", ".expect.json")) as fh:
+        expected = json.load(fh)
+    config = AnalysisConfig(
+        static_filter=False, exec_backend="codegen", obs=True,
+        cache_mode="off",
+    )
+    try:
+        with AnalysisSession(config) as session:
+            report, _ctx = session.profile(src)
+    finally:
+        obs.disable()
+    got = {label: report.results[label].verdict for label in report.results}
+    assert got == expected
