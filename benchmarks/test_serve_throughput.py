@@ -1,0 +1,244 @@
+"""Serving gate over the PLDS + NPB suite: drift, throughput, dedup.
+
+Three properties of the ``repro serve`` daemon:
+
+* **Zero verdict drift** — every benchmark analyzed through the HTTP
+  daemon must produce exactly the per-loop verdicts (and verdict
+  histogram) that a local in-process session produces under the same
+  config.  This pass also leaves the server's shared cache warm for the
+  throughput gate.
+* **Warm-server throughput** — submitting the whole suite to the warm
+  daemon must be at least 1.5x faster than analyzing it with repeated
+  cold CLI invocations (one fresh ``python -m repro analyze`` process
+  per program, cache off): the daemon amortizes interpreter boot, pool
+  spin-up, and cache opens that every cold CLI call repays.
+* **Dedup under concurrency** — K identical concurrent submissions with
+  a cache-cold config must execute exactly one analysis: K-1 requests
+  coalesce onto the leader's in-flight future and every response body
+  is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from conftest import format_table
+
+from repro.api import AnalysisConfig, AnalysisSession
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.serve import AnalysisServer, ServeClient, ServeConfig, serving
+
+MIN_SPEEDUP = 1.5
+DEDUP_CLIENTS = 6
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _bench_config_fields(bench) -> dict:
+    """The per-request config override matching local evaluation."""
+    return {
+        "entry": bench.entry,
+        "rtol": bench.rtol,
+        "liveout_policy": bench.liveout_policy,
+        "specs": False,
+    }
+
+
+@pytest.fixture(scope="module")
+def warm_server(tmp_path_factory):
+    """One daemon for the whole module, with a private cache + ledger."""
+    root = tmp_path_factory.mktemp("serve-bench")
+    server = AnalysisServer(
+        ServeConfig(port=0, workers=4, queue_depth=64),
+        base=AnalysisConfig(
+            cache_dir=str(root / "cache"),
+            ledger_dir=str(root / "ledger"),
+        ),
+    )
+    with serving(server):
+        yield server
+
+
+@pytest.fixture(scope="module")
+def client(warm_server):
+    return ServeClient(f"http://127.0.0.1:{warm_server.port}")
+
+
+@pytest.fixture(scope="module")
+def served_reports(client):
+    """Every benchmark analyzed through the daemon (populates the
+    shared cache as a side effect)."""
+    reports = {}
+    for bench in ALL_BENCHMARKS:
+        status, _, data = client.analyze(
+            bench.source,
+            config=_bench_config_fields(bench),
+            name=bench.name,
+        )
+        assert status == 200, f"{bench.name}: HTTP {status}: {data}"
+        reports[bench.name] = data["report"]
+    return reports
+
+
+def test_served_verdicts_match_local(served_reports, capsys):
+    """Gate: zero verdict drift between the daemon and a local session."""
+    rows = []
+    drifted = []
+    for bench in ALL_BENCHMARKS:
+        config = AnalysisConfig(
+            cache_mode="off", ledger_dir="off", **_bench_config_fields(bench)
+        )
+        with AnalysisSession(config) as session:
+            local = session.analyze(bench.source, source_path=bench.name)
+        local_verdicts = {
+            label: result.verdict for label, result in local.results.items()
+        }
+        served = served_reports[bench.name]
+        served_verdicts = {
+            label: info["verdict"]
+            for label, info in served["loops"].items()
+        }
+        ok = (
+            served_verdicts == local_verdicts
+            and served["verdict_counts"] == local.verdict_counts()
+        )
+        if not ok:
+            drifted.append(bench.name)
+        rows.append(
+            (
+                bench.name,
+                len(local_verdicts),
+                sum(1 for v in served_verdicts.values()
+                    if v.startswith("commutative")),
+                "identical" if ok else "DRIFT",
+            )
+        )
+    with capsys.disabled():
+        print("\n== Served vs local verdicts ==")
+        print(
+            format_table(
+                ("Benchmark", "loops", "commutative", "verdicts"), rows
+            )
+        )
+    assert not drifted, f"served verdicts drifted on: {drifted}"
+
+
+def test_warm_server_beats_cold_cli(served_reports, client, tmp_path, capsys):
+    """Gate: the warm daemon sustains >= 1.5x the throughput of
+    repeated cold CLI invocations over the same suite."""
+    # Cold baseline: one fresh interpreter per program, cache off.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_LEDGER_DIR", None)
+    paths = {}
+    for bench in ALL_BENCHMARKS:
+        path = tmp_path / f"{bench.name}.mc"
+        path.write_text(bench.source)
+        paths[bench.name] = str(path)
+
+    cold_start = time.perf_counter()
+    for bench in ALL_BENCHMARKS:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "analyze",
+                paths[bench.name],
+                "--entry", bench.entry,
+                "--rtol", str(bench.rtol),
+                "--policy", bench.liveout_policy,
+                "--no-specs", "--no-cache", "--no-ledger", "--json",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, f"{bench.name}: {proc.stderr}"
+    cold_s = time.perf_counter() - cold_start
+
+    # Warm daemon: the same suite, same per-bench configs — request
+    # fingerprints match the warm-up pass, so the shared cache that
+    # served_reports populated serves the replays.
+    warm_start = time.perf_counter()
+    for bench in ALL_BENCHMARKS:
+        status, _, data = client.analyze(
+            bench.source,
+            config=_bench_config_fields(bench),
+            name=bench.name,
+        )
+        assert status == 200, f"{bench.name}: HTTP {status}"
+        served = served_reports[bench.name]
+        assert data["report"]["verdict_counts"] == served["verdict_counts"]
+    warm_s = time.perf_counter() - warm_start
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    with capsys.disabled():
+        print("\n== Warm server vs cold CLI over the suite ==")
+        print(
+            format_table(
+                ("path", "programs", "wall s", "per program ms"),
+                [
+                    ("cold CLI", len(ALL_BENCHMARKS), f"{cold_s:.2f}",
+                     f"{1000 * cold_s / len(ALL_BENCHMARKS):.0f}"),
+                    ("warm serve", len(ALL_BENCHMARKS), f"{warm_s:.2f}",
+                     f"{1000 * warm_s / len(ALL_BENCHMARKS):.0f}"),
+                ],
+            )
+        )
+        print(f"speedup: {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm server only {speedup:.2f}x faster than cold CLI "
+        f"(needs {MIN_SPEEDUP}x)"
+    )
+
+
+def test_concurrent_duplicates_execute_once(warm_server, client, capsys):
+    """Gate: K identical concurrent submissions -> one analysis."""
+    # A config fingerprint this module has not used yet, so the shared
+    # cache is cold for it and the work is real.
+    bench = max(ALL_BENCHMARKS, key=lambda b: len(b.source))
+    config = {
+        "entry": bench.entry,
+        "rtol": bench.rtol,
+        "liveout_policy": bench.liveout_policy,
+        "specs": False,
+        "static_filter": False,
+        "schedule_seed": 987654321,
+    }
+    before_analyses = warm_server.metrics.value("serve.analyses", 0)
+    before_coalesced = warm_server.metrics.value("serve.coalesced", 0)
+
+    def submit(_):
+        return client.request(
+            "POST", "/v1/analyze", {"source": bench.source, "config": config}
+        )
+
+    with ThreadPoolExecutor(DEDUP_CLIENTS) as pool:
+        results = list(pool.map(submit, range(DEDUP_CLIENTS)))
+
+    statuses = [status for status, _, _ in results]
+    bodies = {body for _, _, body in results}
+    analyses = warm_server.metrics.value("serve.analyses", 0) - before_analyses
+    coalesced = (
+        warm_server.metrics.value("serve.coalesced", 0) - before_coalesced
+    )
+    with capsys.disabled():
+        print(
+            f"\n== Dedup: {DEDUP_CLIENTS} concurrent identical requests on "
+            f"{bench.name} ==\n"
+            f"analyses executed: {analyses}, coalesced joins: {coalesced}, "
+            f"distinct bodies: {len(bodies)}"
+        )
+    assert statuses == [200] * DEDUP_CLIENTS
+    assert len(bodies) == 1, "coalesced responses must be byte-identical"
+    assert analyses == 1, (
+        f"{DEDUP_CLIENTS} identical concurrent requests ran "
+        f"{analyses} analyses; coalescing must collapse them to 1"
+    )
+    assert coalesced == DEDUP_CLIENTS - 1

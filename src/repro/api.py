@@ -229,12 +229,27 @@ class AnalysisSession:
     calls) and constructs every :class:`DcaAnalyzer` the same way —
     adapters (CLI, driver, batch) should never assemble analyzer kwargs
     themselves.
+
+    **Concurrency contract.**  A session is single-threaded: entry
+    points must not be invoked concurrently on one session.  Concurrent
+    callers (the ``repro serve`` daemon) run one session per in-flight
+    request and share the expensive state underneath instead — the
+    schedule-engine worker pool is process-global already, and one open
+    :class:`~repro.cache.AnalysisCache` handle may be passed as
+    ``cache=`` to any number of sessions (the handle serializes its own
+    statements; see :mod:`repro.cache.store`).  An injected cache is
+    *borrowed*: :meth:`close` leaves it open, its owner closes it.
     """
 
-    def __init__(self, config: Optional[AnalysisConfig] = None):
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        cache=None,
+    ):
         self.config = config or AnalysisConfig()
-        self._cache = None
-        self._cache_opened = False
+        self._cache = cache
+        self._cache_opened = cache is not None
+        self._cache_owned = cache is None
         self._ledger = None
         self._ledger_opened = False
 
@@ -264,9 +279,11 @@ class AnalysisSession:
 
     def close(self) -> None:
         if self._cache is not None:
-            self._cache.close()
+            if self._cache_owned:
+                self._cache.close()
             self._cache = None
             self._cache_opened = False
+            self._cache_owned = True
         if self._ledger is not None:
             self._ledger.close()
             self._ledger = None
@@ -416,18 +433,24 @@ class AnalysisSession:
         paths: Sequence[str] = (),
         manifest: Optional[str] = None,
         on_result=None,
+        fail_fast: bool = False,
     ):
         """Analyze a corpus of programs (see :mod:`repro.batch`).
 
         ``paths`` mixes program files and directories (scanned for
         ``*.mc``); ``manifest`` points at a JSON/JSONL program list.
         ``on_result`` streams per-program outcomes as they complete.
+        ``fail_fast`` stops submitting after the first failed program.
         Returns a :class:`repro.batch.CorpusResult`.
         """
         from repro.batch import run_batch
 
         result = run_batch(
-            self.config, paths=paths, manifest=manifest, on_result=on_result
+            self.config,
+            paths=paths,
+            manifest=manifest,
+            on_result=on_result,
+            fail_fast=fail_fast,
         )
         ledger = self.ledger
         if ledger is not None:

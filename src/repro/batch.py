@@ -14,7 +14,10 @@ runs the full DCA pipeline over every program:
 * **Failure containment**: a program that fails to parse, faults at
   runtime, or kills its worker becomes a recorded
   :class:`ProgramOutcome` (status ``parse-error`` / ``fault`` /
-  ``worker-lost``) instead of aborting the corpus.
+  ``worker-lost``) instead of aborting the corpus.  With
+  ``fail_fast=True`` the driver stops *submitting* after the first
+  failure; unsubmitted programs are recorded ``skipped`` (in-flight
+  pool work still drains and records its real outcome).
 * **Streaming**: ``on_result`` is invoked with each
   :class:`ProgramOutcome` as it completes (completion order); the final
   :class:`CorpusResult` lists outcomes in corpus order regardless.
@@ -54,6 +57,7 @@ STATUS_OK = "ok"
 STATUS_PARSE_ERROR = "parse-error"
 STATUS_FAULT = "fault"
 STATUS_WORKER_LOST = "worker-lost"
+STATUS_SKIPPED = "skipped"  # fail-fast stopped the corpus before this one
 
 
 @dataclass
@@ -153,7 +157,12 @@ class CorpusResult:
         counts = self.status_counts()
         ok = counts.get(STATUS_OK, 0)
         parts = [f"{self.programs} programs: {ok} ok"]
-        for status in (STATUS_PARSE_ERROR, STATUS_FAULT, STATUS_WORKER_LOST):
+        for status in (
+            STATUS_PARSE_ERROR,
+            STATUS_FAULT,
+            STATUS_WORKER_LOST,
+            STATUS_SKIPPED,
+        ):
             if counts.get(status):
                 parts.append(f"{counts[status]} {status}")
         lines = [
@@ -419,6 +428,7 @@ def run_batch(
     paths: Sequence[str] = (),
     manifest: Optional[str] = None,
     on_result: Optional[Callable[[ProgramOutcome], None]] = None,
+    fail_fast: bool = False,
 ) -> CorpusResult:
     """Analyze a corpus of programs under one :class:`AnalysisConfig`.
 
@@ -426,7 +436,10 @@ def run_batch(
     entries from a JSON/JSONL manifest.  ``on_result`` streams each
     :class:`ProgramOutcome` as it completes.  Per-program failures are
     recorded, never raised; the returned :class:`CorpusResult` lists
-    outcomes in corpus order.
+    outcomes in corpus order.  ``fail_fast=True`` stops submitting new
+    programs after the first failure: unsubmitted programs are recorded
+    with status ``skipped`` (already-running pool workers drain and
+    record their real outcomes).
     """
     specs = discover_programs(paths)
     if manifest is not None:
@@ -437,9 +450,9 @@ def run_batch(
     backend, jobs = config.resolved_backend()
     start = time.perf_counter()
     if backend == "process" and len(specs) > 1:
-        outcomes = _run_pooled(config, specs, jobs, on_result)
+        outcomes = _run_pooled(config, specs, jobs, on_result, fail_fast)
     else:
-        outcomes = _run_serial(config, specs, on_result)
+        outcomes = _run_serial(config, specs, on_result, fail_fast)
     return CorpusResult(
         outcomes=outcomes, wall_ms=(time.perf_counter() - start) * 1000.0
     )
@@ -450,8 +463,19 @@ def _emit(outcome: ProgramOutcome, on_result) -> None:
         on_result(outcome)
 
 
+def _skipped_outcome(
+    spec: ProgramSpec, index: int, culprit: str
+) -> ProgramOutcome:
+    return ProgramOutcome(
+        path=spec.path,
+        index=index,
+        status=STATUS_SKIPPED,
+        error=f"skipped by fail-fast after {culprit}",
+    )
+
+
 def _run_serial(
-    config, specs: List[ProgramSpec], on_result
+    config, specs: List[ProgramSpec], on_result, fail_fast: bool = False
 ) -> List[ProgramOutcome]:
     ctx = obs.current()
     outcomes: List[ProgramOutcome] = []
@@ -460,11 +484,22 @@ def _run_serial(
         _note_outcome(ctx, outcome)
         outcomes.append(outcome)
         _emit(outcome, on_result)
+        if fail_fast and outcome.status != STATUS_OK:
+            for rest in range(index + 1, len(specs)):
+                skipped = _skipped_outcome(specs[rest], rest, spec.path)
+                _note_outcome(ctx, skipped)
+                outcomes.append(skipped)
+                _emit(skipped, on_result)
+            break
     return outcomes
 
 
 def _run_pooled(
-    config, specs: List[ProgramSpec], jobs: Optional[int], on_result
+    config,
+    specs: List[ProgramSpec],
+    jobs: Optional[int],
+    on_result,
+    fail_fast: bool = False,
 ) -> List[ProgramOutcome]:
     """Fan programs out over the shared schedule-engine worker pool."""
     from concurrent.futures.process import ProcessPoolExecutor
@@ -530,13 +565,30 @@ def _run_pooled(
         outcomes[index] = outcome
         _emit(outcome, on_result)
 
-    for index in range(len(specs)):
-        submit(index)
+    # With fail-fast, submissions go out in a sliding window of `jobs`
+    # so "stop submitting after the first failure" has something left
+    # to stop; otherwise everything is submitted up front as before.
+    next_index = 0
+    window = min(len(specs), jobs) if fail_fast else len(specs)
+    failed_path: Optional[str] = None
+    for _ in range(window):
+        submit(next_index)
+        next_index += 1
     while future_map:
         done, _ = wait(set(future_map), return_when=FIRST_COMPLETED)
         for fut in done:
             index = future_map.pop(fut)
-            handle(index, collect(fut, index))
+            outcome = collect(fut, index)
+            handle(index, outcome)
+            if (
+                fail_fast
+                and failed_path is None
+                and outcome.status != STATUS_OK
+            ):
+                failed_path = specs[index].path
+            if failed_path is None and next_index < len(specs):
+                submit(next_index)
+                next_index += 1
         if pool_broken:
             # The broken pool poisons every outstanding future; drain
             # them via isolated retries, then discard it so any later
@@ -547,4 +599,10 @@ def _run_pooled(
             _discard_pool(jobs)
             ctx.count("batch.pool_rebuilds")
             pool_broken = False
+    if failed_path is not None:
+        for index in range(next_index, len(specs)):
+            skipped = _skipped_outcome(specs[index], index, failed_path)
+            _note_outcome(ctx, skipped)
+            outcomes[index] = skipped
+            _emit(skipped, on_result)
     return [o for o in outcomes if o is not None]

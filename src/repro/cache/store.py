@@ -25,6 +25,12 @@ Properties the rest of the pipeline relies on:
 * **Multi-process safety.**  Batch workers open their own connections;
   writes are short transactions under a generous busy timeout (WAL when
   the filesystem allows it).
+* **Multi-thread safety.**  One handle may be shared across threads —
+  the serving daemon funnels every request through a single rw handle —
+  so the connection is opened with ``check_same_thread=False`` and all
+  statement execution is serialized under an internal lock.  Lock hold
+  times are single statements or one short transaction; sqlite itself
+  remains the concurrency bottleneck, not the lock.
 * **Verifiability.**  When source text is registered for a module,
   ``verify`` can recompile it, re-execute a sample of cached loops with
   the exact recorded configuration, and cross-check verdicts and
@@ -37,6 +43,7 @@ import json
 import os
 import random
 import sqlite3
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -108,7 +115,13 @@ class AnalysisCache:
         self._clock = clock or time.time
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, CACHE_DB_NAME)
-        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        # One handle may serve many threads (the serve daemon shares a
+        # single rw handle across its worker threads); sqlite's
+        # same-thread check is replaced by our own statement lock.
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
         self._conn.executescript(_SCHEMA)
         try:  # WAL keeps concurrent batch workers off each other's locks
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -124,7 +137,7 @@ class AnalysisCache:
 
     def _check_versions(self) -> None:
         """Purge wholesale when the store predates the current semantics."""
-        with self._conn:
+        with self._lock, self._conn:
             rows = dict(
                 self._conn.execute("SELECT key, value FROM meta").fetchall()
             )
@@ -146,7 +159,8 @@ class AnalysisCache:
 
     def _bump(self, name: str, n: int = 1) -> None:
         """Count one cache access: session counter + obs metric."""
-        self._session_counts[name] += n
+        with self._lock:
+            self._session_counts[name] += n
         ctx = obs.current()
         if ctx.enabled:
             ctx.count(f"cache.{name}", n)
@@ -156,27 +170,29 @@ class AnalysisCache:
         table (skipped in read-only mode, which must not write)."""
         if self.mode == "ro":
             return
-        pending = {k: v for k, v in self._session_counts.items() if v}
-        if not pending:
-            return
-        try:
-            with self._conn:
-                for name, n in pending.items():
-                    self._conn.execute(
-                        "INSERT INTO meta (key, value) VALUES (?, ?) "
-                        "ON CONFLICT(key) DO UPDATE SET value=CAST("
-                        "CAST(value AS INTEGER) + CAST(excluded.value "
-                        "AS INTEGER) AS TEXT)",
-                        (f"lifetime_{name}", str(n)),
-                    )
-            for name in pending:
-                self._session_counts[name] = 0
-        except sqlite3.Error:  # pragma: no cover - racing close/deletion
-            pass
+        with self._lock:
+            pending = {k: v for k, v in self._session_counts.items() if v}
+            if not pending:
+                return
+            try:
+                with self._conn:
+                    for name, n in pending.items():
+                        self._conn.execute(
+                            "INSERT INTO meta (key, value) VALUES (?, ?) "
+                            "ON CONFLICT(key) DO UPDATE SET value=CAST("
+                            "CAST(value AS INTEGER) + CAST(excluded.value "
+                            "AS INTEGER) AS TEXT)",
+                            (f"lifetime_{name}", str(n)),
+                        )
+                for name in pending:
+                    self._session_counts[name] = 0
+            except sqlite3.Error:  # pragma: no cover - racing close/deletion
+                pass
 
     def close(self) -> None:
         self._flush_lifetime_counts()
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "AnalysisCache":
         return self
@@ -198,22 +214,23 @@ class AnalysisCache:
         if self.mode == "refresh":
             return None
         self._bump("lookups")
-        row = self._conn.execute(
-            "SELECT payload FROM entries WHERE module_digest=? AND "
-            "loop_id=? AND fingerprint=?",
-            (module_digest, loop_id, fingerprint),
-        ).fetchone()
-        if row is None:
-            self._bump("misses")
-            return None
-        self._bump("hits")
-        if self.mode != "ro":
-            with self._conn:
-                self._conn.execute(
-                    "UPDATE entries SET hits=hits+1, last_used_at=? WHERE "
-                    "module_digest=? AND loop_id=? AND fingerprint=?",
-                    (self._clock(), module_digest, loop_id, fingerprint),
-                )
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE module_digest=? AND "
+                "loop_id=? AND fingerprint=?",
+                (module_digest, loop_id, fingerprint),
+            ).fetchone()
+            if row is None:
+                self._bump("misses")
+                return None
+            self._bump("hits")
+            if self.mode != "ro":
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE entries SET hits=hits+1, last_used_at=? WHERE "
+                        "module_digest=? AND loop_id=? AND fingerprint=?",
+                        (self._clock(), module_digest, loop_id, fingerprint),
+                    )
         return json.loads(row[0])
 
     def has_stale_sibling(
@@ -221,11 +238,12 @@ class AnalysisCache:
     ) -> bool:
         """Whether this miss is really an invalidation: the same loop is
         cached under a different (now unreachable) config fingerprint."""
-        row = self._conn.execute(
-            "SELECT 1 FROM entries WHERE module_digest=? AND loop_id=? "
-            "AND fingerprint<>? LIMIT 1",
-            (module_digest, loop_id, fingerprint),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM entries WHERE module_digest=? AND loop_id=? "
+                "AND fingerprint<>? LIMIT 1",
+                (module_digest, loop_id, fingerprint),
+            ).fetchone()
         if row is not None:
             self._bump("invalidations")
         return row is not None
@@ -242,7 +260,7 @@ class AnalysisCache:
         if self.mode == "ro":
             return False
         now = self._clock()
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO entries (module_digest, loop_id, fingerprint, "
                 "payload, created_at, last_used_at, hits) "
@@ -277,7 +295,7 @@ class AnalysisCache:
             args_json: Optional[str] = json.dumps(list(args))
         except TypeError:
             args_json = None  # non-JSON workload args: not verifiable
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.execute(
                 "INSERT INTO modules (module_digest, source_path, "
                 "source_text, entry, args_json) VALUES (?, ?, ?, ?, ?) "
@@ -290,6 +308,10 @@ class AnalysisCache:
     # -- maintenance -------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, object]:
         count_entries, total_hits = self._conn.execute(
             "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM entries"
         ).fetchone()
@@ -341,14 +363,15 @@ class AnalysisCache:
 
     def clear(self) -> int:
         """Drop every cached verdict; returns the number removed."""
-        with self._conn:
-            (count,) = self._conn.execute(
-                "SELECT COUNT(*) FROM entries"
-            ).fetchone()
-            self._conn.execute("DELETE FROM entries")
-            self._conn.execute("DELETE FROM fingerprints")
-            self._conn.execute("DELETE FROM modules")
-        self._conn.execute("VACUUM")
+        with self._lock:
+            with self._conn:
+                (count,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+                self._conn.execute("DELETE FROM entries")
+                self._conn.execute("DELETE FROM fingerprints")
+                self._conn.execute("DELETE FROM modules")
+            self._conn.execute("VACUUM")
         return count
 
     def gc(
@@ -358,7 +381,7 @@ class AnalysisCache:
     ) -> Dict[str, int]:
         """Expire old entries and cap the store size (LRU beyond the cap)."""
         removed_age = removed_lru = 0
-        with self._conn:
+        with self._lock, self._conn:
             if max_age_days is not None:
                 cutoff = self._clock() - max_age_days * 86400.0
                 removed_age = self._conn.execute(
@@ -416,15 +439,16 @@ class AnalysisCache:
         from repro.core.schedules import ScheduleConfig, schedule_from_name
         from repro.driver import compile_program
 
-        rows = self._conn.execute(
-            "SELECT e.module_digest, e.loop_id, e.fingerprint, e.payload, "
-            "m.source_text, m.entry, m.args_json, f.description "
-            "FROM entries e "
-            "JOIN modules m ON m.module_digest = e.module_digest "
-            "JOIN fingerprints f ON f.fingerprint = e.fingerprint "
-            "WHERE m.source_text IS NOT NULL AND m.args_json IS NOT NULL "
-            "ORDER BY e.module_digest, e.loop_id, e.fingerprint"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT e.module_digest, e.loop_id, e.fingerprint, e.payload, "
+                "m.source_text, m.entry, m.args_json, f.description "
+                "FROM entries e "
+                "JOIN modules m ON m.module_digest = e.module_digest "
+                "JOIN fingerprints f ON f.fingerprint = e.fingerprint "
+                "WHERE m.source_text IS NOT NULL AND m.args_json IS NOT NULL "
+                "ORDER BY e.module_digest, e.loop_id, e.fingerprint"
+            ).fetchall()
         rng = random.Random(seed)
         if len(rows) > sample:
             rows = rng.sample(rows, sample)

@@ -302,6 +302,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print("batch: no programs (pass paths and/or --manifest)",
               file=sys.stderr)
         return 2
+    if args.server:
+        if args.trace:
+            print("batch: --trace is not supported with --server",
+                  file=sys.stderr)
+            return 2
+        return _batch_via_server(args)
     config = _config_from_args(args)
     ctx = None
     if args.trace:
@@ -325,7 +331,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
     try:
         with AnalysisSession(config) as session:
             result = session.batch(
-                paths=args.paths, manifest=args.manifest, on_result=stream
+                paths=args.paths,
+                manifest=args.manifest,
+                on_result=stream,
+                fail_fast=args.fail_fast,
             )
     finally:
         if jsonl_handle is not None:
@@ -342,6 +351,109 @@ def cmd_batch(args: argparse.Namespace) -> int:
             print(f"per-program results written to {args.jsonl}")
     ok = result.status_counts().get(STATUS_OK, 0)
     return 0 if ok == result.programs else 1
+
+
+def _batch_via_server(args: argparse.Namespace) -> int:
+    """``repro batch --server URL``: thin client over a running daemon.
+
+    The server owns backend/cache/ledger policy; the client ships only
+    program sources plus the per-request config fields.  Exit codes
+    match the local path: 0 all ok, 1 any failure/skip, 2 usage error.
+    """
+    from repro.batch import discover_programs, load_manifest
+    from repro.serve import ServeClient
+
+    specs = discover_programs(args.paths)
+    if args.manifest:
+        specs.extend(load_manifest(args.manifest))
+    if not specs:
+        print("batch: empty corpus: no programs found", file=sys.stderr)
+        return 2
+    programs = []
+    for spec in specs:
+        with open(spec.path, "r", encoding="utf-8") as fh:
+            entry = {"name": spec.path, "source": fh.read()}
+        if spec.entry is not None:
+            entry["entry"] = spec.entry
+        if spec.args is not None:
+            entry["args"] = list(spec.args)
+        programs.append(entry)
+    config = {
+        "entry": args.entry,
+        "rtol": args.rtol,
+        "liveout_policy": args.policy,
+        "static_filter": not args.no_static_filter,
+    }
+    if args.specs is not None:
+        config["specs"] = args.specs
+
+    client = ServeClient(args.server)
+    jsonl_handle = open(args.jsonl, "w") if args.jsonl else None
+    summary = None
+    try:
+        for line in client.batch(
+            programs, config=config, fail_fast=args.fail_fast
+        ):
+            if line.get("type") == "summary":
+                summary = line
+                continue
+            if jsonl_handle is not None:
+                jsonl_handle.write(json.dumps(line) + "\n")
+                jsonl_handle.flush()
+            if not args.json:
+                if line.get("status") == "ok":
+                    print(
+                        f"  ok           {line.get('name')} "
+                        f"({line.get('loops')} loops, "
+                        f"{line.get('commutative')} commutative)"
+                    )
+                else:
+                    print(
+                        f"  {line.get('status', 'error'):12s} "
+                        f"{line.get('name')}: {line.get('error', '')}"
+                    )
+    finally:
+        if jsonl_handle is not None:
+            jsonl_handle.close()
+    if summary is None:
+        print("batch: server stream ended without a summary",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"Batch {summary.get('programs', len(programs))} programs via "
+            f"{args.server}: {summary.get('ok', 0)} ok, "
+            f"{summary.get('failed', 0)} failed"
+        )
+        if args.jsonl:
+            print(f"per-program results written to {args.jsonl}")
+    return 0 if summary.get("failed", 0) == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AnalysisServer, resolve_serve_config
+
+    serve_config = resolve_serve_config(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        default_priority=args.priority,
+    )
+    server = AnalysisServer(serve_config, base=_config_from_args(args))
+    print(
+        f"repro serve on http://{serve_config.host}:{serve_config.port} "
+        f"({serve_config.workers} workers, "
+        f"queue depth {serve_config.queue_depth})",
+        file=sys.stderr,
+    )
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -698,6 +810,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch = sub.add_parser(
         "batch",
         help="analyze a corpus of programs (files, directories, manifest)",
+        epilog="exit codes: 0 every program analyzed ok; 1 any program "
+               "failed (parse-error, fault, worker-lost) or was skipped "
+               "by --fail-fast; 2 usage error (no programs, or flags "
+               "that cannot be combined).",
     )
     p_batch.add_argument("paths", nargs="*",
                          help="program files and/or directories of *.mc")
@@ -719,11 +835,54 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable tracing; merge per-program worker "
                               "traces into one Chrome trace (one lane per "
                               "program)")
+    p_batch.add_argument("--fail-fast", action="store_true", dest="fail_fast",
+                         help="stop submitting after the first failed "
+                              "program; remaining programs are recorded "
+                              "as skipped (exit code 1)")
+    p_batch.add_argument("--server", metavar="URL", default=None,
+                         help="submit the corpus to a running `repro serve` "
+                              "daemon instead of analyzing locally "
+                              "(e.g. http://127.0.0.1:8421)")
     engine_flags(p_batch)
     specs_flags(p_batch)
     cache_flags(p_batch)
     ledger_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived analysis daemon: HTTP/JSON over a warm engine "
+             "pool and shared cache",
+    )
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: 127.0.0.1, or "
+                              "REPRO_SERVE_HOST)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port; 0 picks a free one (default: "
+                              "8421, or REPRO_SERVE_PORT)")
+    p_serve.add_argument("--queue-depth", type=int, default=None,
+                         dest="queue_depth",
+                         help="admission bound: max queued+running "
+                              "requests before 429 (default: 64, or "
+                              "REPRO_SERVE_QUEUE_DEPTH)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="concurrent analysis worker threads "
+                              "(default: 4, or REPRO_SERVE_WORKERS)")
+    p_serve.add_argument("--priority", type=int, default=None,
+                         help="default request priority; lower runs "
+                              "sooner (default: 10, or "
+                              "REPRO_SERVE_PRIORITY)")
+    p_serve.add_argument("--entry", default="main")
+    p_serve.add_argument("--rtol", type=float, default=1e-9)
+    p_serve.add_argument("--policy", choices=("strict", "eventual"),
+                         default="strict")
+    p_serve.add_argument("--no-static-filter", action="store_true",
+                         help="disable the static pre-screen")
+    engine_flags(p_serve)
+    specs_flags(p_serve)
+    cache_flags(p_serve)
+    ledger_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="administer the persistent analysis cache"

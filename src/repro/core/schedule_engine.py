@@ -53,6 +53,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
@@ -87,10 +88,13 @@ __all__ = [
     "ScheduleTask",
     "SerialScheduleEngine",
     "create_engine",
+    "engine_queue_depth",
     "execute_task",
     "outcome_fails",
     "resolve_schedule_backend",
+    "shared_pool_jobs",
     "should_test",
+    "warm_shared_pool",
 ]
 
 #: Environment knobs consulted when the analyzer is not given an explicit
@@ -575,6 +579,44 @@ def shutdown_shared_pools() -> None:
 atexit.register(shutdown_shared_pools)
 
 
+def warm_shared_pool(jobs: Optional[int] = None) -> int:
+    """Pre-fork the shared worker pool and block until every worker is
+    alive.  ``ProcessPoolExecutor`` spawns workers lazily on first
+    submit; a long-lived server calls this once at startup so no client
+    request ever pays pool spin-up.  Returns the worker count."""
+    jobs = max(1, jobs or os.cpu_count() or 1)
+    pool = _shared_pool(jobs)
+    # One no-op per worker forces every process to exist now; collecting
+    # the results waits for them to finish booting.
+    for fut in [pool.submit(os.getpid) for _ in range(jobs)]:
+        fut.result()
+    return jobs
+
+
+def shared_pool_jobs() -> List[int]:
+    """Job counts of the currently live shared pools (diagnostics)."""
+    return sorted(_SHARED_POOLS)
+
+
+#: Process-wide count of schedule tasks submitted to the shared pools
+#: and not yet collected — the load signal the serving layer's admission
+#: control and ``/healthz`` read.  Updated by every ProcessScheduleEngine
+#: run in this process, across threads.
+_INFLIGHT = 0
+_INFLIGHT_LOCK = threading.Lock()
+
+
+def _inflight_delta(n: int) -> None:
+    global _INFLIGHT
+    with _INFLIGHT_LOCK:
+        _INFLIGHT += n
+
+
+def engine_queue_depth() -> int:
+    """Schedule tasks currently in flight on the shared pools."""
+    return _INFLIGHT
+
+
 class ProcessScheduleEngine(ScheduleEngine):
     """Multiprocess fan-out over a shared ``ProcessPoolExecutor``."""
 
@@ -600,6 +642,8 @@ class ProcessScheduleEngine(ScheduleEngine):
         def note_queue_depth() -> None:
             # Gauge, not counter: the exported value is the high-water
             # view of the in-flight task window at the last transition.
+            # The process-wide mirror (engine_queue_depth) feeds the
+            # serving layer's admission control.
             ctx.gauge("schedule.queue_depth", len(future_map))
 
         def submit(plan: LoopPlan, index: int) -> None:
@@ -616,6 +660,7 @@ class ProcessScheduleEngine(ScheduleEngine):
                     run_task_in_worker, plan.tasks[index]
                 )
             future_map[fut] = (plan, index)
+            _inflight_delta(1)
             ctx.count("schedule.tasks_submitted")
             note_queue_depth()
 
@@ -652,6 +697,7 @@ class ProcessScheduleEngine(ScheduleEngine):
                 for fut, (p, i) in list(future_map.items()):
                     if p is plan and i > index and fut.cancel():
                         del future_map[fut]
+                        _inflight_delta(-1)
                         results[plan.label][i] = cancelled_outcome(p.tasks[i])
                         ctx.count("schedule.tasks_cancelled")
                 note_queue_depth()
@@ -662,6 +708,7 @@ class ProcessScheduleEngine(ScheduleEngine):
             done, _ = wait(set(future_map), return_when=FIRST_COMPLETED)
             for fut in done:
                 plan, index = future_map.pop(fut)
+                _inflight_delta(-1)
                 note_queue_depth()
                 handle(plan, index, collect(fut, plan, index))
             if pool_broken:
@@ -670,6 +717,7 @@ class ProcessScheduleEngine(ScheduleEngine):
                 # any follow-up submissions.
                 for fut, (plan, index) in list(future_map.items()):
                     del future_map[fut]
+                    _inflight_delta(-1)
                     handle(plan, index, collect(fut, plan, index))
                 _discard_pool(self.jobs)
                 ctx.count("schedule.pool_rebuilds")

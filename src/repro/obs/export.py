@@ -1,9 +1,9 @@
 """Exporters for observability data: OpenMetrics text, Chrome trace, JSONL.
 
 The renderer half turns a :class:`~repro.obs.metrics.MetricsRegistry`
-into OpenMetrics / Prometheus exposition text, so the future ``repro
-serve`` metrics endpoint is a ten-line adapter over
-:func:`render_openmetrics`.  The parser half
+into OpenMetrics / Prometheus exposition text; the ``repro serve``
+``GET /metrics`` endpoint is exactly the promised ten-line adapter over
+:func:`render_openmetrics` (see :meth:`repro.serve.AnalysisServer`).  The parser half
 (:func:`parse_openmetrics`) exists for round-trip validation in tests
 and for downstream tooling that wants the samples back without a
 Prometheus client library.
@@ -46,6 +46,8 @@ LABEL_RULES: Tuple[Tuple[str, str], ...] = (
     ("exec.fallback.", "reason"),
     ("exec.backend.", "backend"),
     ("liveout.canonicalize.", "result"),
+    ("serve.requests.", "endpoint"),
+    ("serve.responses.", "code"),
 )
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
