@@ -27,6 +27,15 @@ from repro.analysis.loops import Loop, LoopForest, build_loop_forest, invalidate
 from repro.analysis.postdom import ControlDependence, PostDominators
 from repro.analysis.purity import EffectAnalysis, FunctionEffects
 from repro.analysis.reductions import LoopIdioms, classify_loop
+from repro.analysis.sccdag import (
+    ParallelismTier,
+    PipelinePlan,
+    SccDag,
+    SccNode,
+    build_sccdag,
+    partition_stages,
+    resolve_tiering,
+)
 
 __all__ = [
     "AffineContext",
@@ -46,18 +55,25 @@ __all__ = [
     "LoopLiveness",
     "PROVEN_COMMUTATIVE",
     "PROVEN_NONCOMMUTATIVE",
+    "ParallelismTier",
+    "PipelinePlan",
     "PointsTo",
     "PostDominators",
     "ReachingDefs",
+    "SccDag",
+    "SccNode",
     "StaticCommutativityAnalysis",
     "StaticLoopVerdict",
     "UNKNOWN",
     "build_loop_forest",
+    "build_sccdag",
     "classify_loop",
     "compute_dominators",
     "cross_iteration_dependence",
     "diagnostic_from_static",
     "dominates",
     "invalidate_loops",
+    "partition_stages",
+    "resolve_tiering",
     "reverse_postorder",
 ]

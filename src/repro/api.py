@@ -62,7 +62,45 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisSession",
     "DetectOutcome",
+    "legacy_report_dict",
 ]
+
+
+def legacy_report_dict(data: Dict[str, object]) -> Dict[str, object]:
+    """Flatten a schema-2 report dict back to the schema-1 shape.
+
+    Deprecated compatibility shim for ``--json`` consumers that still
+    expect the flat per-loop ``verdict`` string: strips
+    ``report_schema_version``/``tier_counts`` and replaces each loop's
+    structured verdict object with its ``value``.  Schema-1 input passes
+    through unchanged (minus the warning).  Migrate to the structured
+    ``verdict`` object — this shim is scheduled for removal one release
+    after tiering ships.
+    """
+    import warnings
+
+    warnings.warn(
+        "legacy_report_dict() is a one-release compatibility shim; "
+        "read the structured per-loop 'verdict' object instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    out = {
+        key: value
+        for key, value in data.items()
+        if key not in ("report_schema_version", "tier_counts")
+    }
+    loops = out.get("loops")
+    if isinstance(loops, dict):
+        flat_loops = {}
+        for label, loop in loops.items():
+            loop = dict(loop)
+            verdict = loop.get("verdict")
+            if isinstance(verdict, dict):
+                loop["verdict"] = verdict.get("value")
+            flat_loops[label] = loop
+        out["loops"] = flat_loops
+    return out
 
 
 @dataclass(frozen=True)
@@ -114,6 +152,13 @@ class AnalysisConfig:
     #: environment).  Session entry points append one headline row per
     #: run (see :mod:`repro.obs.ledger` and ``repro stats``).
     ledger_dir: Optional[str] = None
+    #: Parallelization tiering (DOALL/REDUCTION/PIPELINE/SEQUENTIAL per
+    #: loop; see :mod:`repro.analysis.sccdag`).  None defers to
+    #: ``REPRO_TIERING`` (default: off); True/False force it.  When on,
+    #: reports serialize under ``report_schema_version`` 2.
+    tiering: Optional[bool] = None
+    #: Upper bound on DSWP pipeline stages per loop (>= 2).
+    max_pipeline_stages: int = 4
 
     def __post_init__(self) -> None:
         if self.liveout_policy not in ("strict", "eventual"):
@@ -130,6 +175,8 @@ class AnalysisConfig:
         # silently inverts for backends missing from the copy.
         if self.exec_backend is not None and self.exec_backend not in EXEC_BACKENDS:
             raise ValueError(f"unknown exec backend {self.exec_backend!r}")
+        if self.max_pipeline_stages < 2:
+            raise ValueError("max_pipeline_stages must be >= 2")
         # Frozen dataclasses hash by field tuple; normalize silently
         # mutable aliases so value semantics hold.
         if isinstance(self.args, list):
@@ -183,6 +230,13 @@ class AnalysisConfig:
             return registry_from_env()
         return default_registry() if self.specs else None
 
+    def resolved_tiering(self) -> bool:
+        """Effective tiering switch: explicit ``tiering`` beats
+        ``REPRO_TIERING`` beats off."""
+        from repro.analysis.sccdag import resolve_tiering
+
+        return resolve_tiering(self.tiering)
+
     def fingerprint(self) -> str:
         """The exact config-fingerprint component of the persistent
         cache key.  Covers only verdict-relevant settings — backends,
@@ -197,6 +251,11 @@ class AnalysisConfig:
             max_steps=self.max_steps,
             candidate_labels=self.candidate_labels,
             specs=registry.digest() if registry is not None else None,
+            tiering=(
+                {"max_pipeline_stages": self.max_pipeline_stages}
+                if self.resolved_tiering()
+                else None
+            ),
         )
 
 
@@ -309,6 +368,7 @@ class AnalysisSession:
             cache_hits=report.cache.hits,
             cache_misses=report.cache.misses,
             verdicts=report.verdict_counts(),
+            tiers=report.tier_counts() if report.tiering else {},
             stage_times=report.stage_times_ms,
         )
 
@@ -356,6 +416,8 @@ class AnalysisSession:
             cache=self.cache,
             source_text=source_text,
             source_path=source_path,
+            tiering=config.resolved_tiering(),
+            max_pipeline_stages=config.max_pipeline_stages,
         )
 
     # -- entry points ------------------------------------------------------

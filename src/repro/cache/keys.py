@@ -76,6 +76,7 @@ def fingerprint_description(
     max_steps: Optional[int] = None,
     candidate_labels: Optional[Sequence[str]] = None,
     specs: Optional[str] = None,
+    tiering: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The canonical, JSON-serializable description a fingerprint hashes.
 
@@ -86,6 +87,10 @@ def fingerprint_description(
     commutativity specs participate in verification, else None.  The key
     is emitted only when set, so specs-off fingerprints are unchanged
     from before the spec layer existed (modulo the semantics version).
+
+    ``tiering`` follows the same pattern for the parallelization-tiering
+    stage (``{"max_pipeline_stages": k}`` when tiering is on, else
+    None): tiering-off fingerprints match tiering-free releases.
     """
     description: Dict[str, object] = {
         "schedules": list(schedule_names),
@@ -100,6 +105,8 @@ def fingerprint_description(
     }
     if specs is not None:
         description["specs"] = specs
+    if tiering is not None:
+        description["tiering"] = dict(tiering)
     return description
 
 
@@ -111,6 +118,7 @@ def config_fingerprint(
     max_steps: Optional[int] = None,
     candidate_labels: Optional[Sequence[str]] = None,
     specs: Optional[str] = None,
+    tiering: Optional[Dict[str, object]] = None,
 ) -> str:
     """Digest of the verdict-relevant analysis configuration."""
     description = fingerprint_description(
@@ -121,5 +129,6 @@ def config_fingerprint(
         max_steps=max_steps,
         candidate_labels=candidate_labels,
         specs=specs,
+        tiering=tiering,
     )
     return _sha256(json.dumps(description, sort_keys=True))

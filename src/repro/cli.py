@@ -141,6 +141,8 @@ def _config_from_args(args: argparse.Namespace):
         cache_dir=getattr(args, "cache", None),
         cache_mode=getattr(args, "cache_mode", "rw"),
         ledger_dir=getattr(args, "ledger", None),
+        tiering=getattr(args, "tiering", None),
+        max_pipeline_stages=getattr(args, "max_pipeline_stages", 4),
     )
 
 
@@ -161,13 +163,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(report.summary())
     commutative = report.commutative_labels()
     print(f"\n{len(commutative)}/{len(report.results)} loops commutative")
+    if report.tiering:
+        tiers = report.tier_counts()
+        rendered = " ".join(
+            f"{tier}={tiers[tier]}" for tier in sorted(tiers)
+        )
+        print(f"tiers: {rendered or '-'}")
     print(_hit_rate_line(report))
     print(report.cost_summary())
     if args.profile:
         print()
         print(report.cost_table())
 
-    if args.cores and commutative:
+    pipeline_plans = {
+        label: result.pipeline_plan
+        for label, result in report.results.items()
+        if result.pipeline_plan is not None
+    }
+    candidates = commutative + sorted(pipeline_plans)
+    if args.cores and candidates:
         from repro.parallel import MachineModel, ParallelSimulator
 
         sim = ParallelSimulator(
@@ -175,7 +189,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             entry=args.entry,
             model=MachineModel(cores=args.cores),
         )
-        speedup = sim.simulate(commutative)
+        speedup = sim.simulate(
+            candidates, pipeline_plans=pipeline_plans or None
+        )
         print(f"\nSimulated on {args.cores} cores:")
         print(speedup.summary())
     return 0
@@ -556,7 +572,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"ledger at {directory}: {len(trends)} series")
     header = (
         f"  {'kind':8s} {'program':32s} {'runs':>5s} {'wall ms':>9s} "
-        f"{'vs median':>10s} {'saved':>6s} {'hit rate':>9s}"
+        f"{'vs median':>10s} {'saved':>6s} {'hit rate':>9s} tiers"
     )
     print(header)
     print("  " + "-" * (len(header) - 2))
@@ -568,10 +584,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
         delta = f"{wall_delta:+.1f}%" if wall_delta is not None else "-"
         rate = trend["latest_cache_hit_rate"]
         rate_col = f"{rate:>9.0%}" if rate is not None else f"{'-':>9s}"
+        tiers = trend.get("latest_tiers") or {}
+        tier_col = (
+            " ".join(f"{t}={tiers[t]}" for t in sorted(tiers))
+            if tiers
+            else "-"
+        )
         print(
             f"  {trend['kind']:8s} {program:32s} {trend['runs']:>5d} "
             f"{trend['latest_wall_ms']:>9.2f} {delta:>10s} "
-            f"{trend['latest_executions_saved']:>6d} {rate_col}"
+            f"{trend['latest_executions_saved']:>6d} {rate_col} {tier_col}"
         )
     if regressions:
         print()
@@ -706,6 +728,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force byte-exact verification even when "
                             "REPRO_SPECS is set")
 
+    def tiering_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tiering", action="store_const", const=True,
+                       dest="tiering", default=None,
+                       help="classify every loop into a parallelization "
+                            "tier (DOALL/REDUCTION/PIPELINE/SEQUENTIAL) "
+                            "and emit schema-2 reports (default: off, or "
+                            "REPRO_TIERING)")
+        p.add_argument("--no-tiering", action="store_const", const=False,
+                       dest="tiering",
+                       help="force tiering off even when REPRO_TIERING "
+                            "is set")
+        p.add_argument("--max-pipeline-stages", type=int, default=4,
+                       dest="max_pipeline_stages", metavar="K",
+                       help="upper bound on DSWP pipeline stages per "
+                            "loop (default: 4)")
+
     def cache_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache", metavar="DIR", default=None,
                        help="persistent verdict cache directory "
@@ -753,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_an)
     specs_flags(p_an)
+    tiering_flags(p_an)
     cache_flags(p_an)
     ledger_flags(p_an)
     p_an.set_defaults(func=cmd_analyze)
@@ -770,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable tracing; write Chrome trace-event JSON")
     engine_flags(p_det)
     specs_flags(p_det)
+    tiering_flags(p_det)
     cache_flags(p_det)
     ledger_flags(p_det)
     p_det.set_defaults(func=cmd_detect)
@@ -803,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "of stdout")
     engine_flags(p_prof)
     specs_flags(p_prof)
+    tiering_flags(p_prof)
     cache_flags(p_prof)
     ledger_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
@@ -845,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. http://127.0.0.1:8421)")
     engine_flags(p_batch)
     specs_flags(p_batch)
+    tiering_flags(p_batch)
     cache_flags(p_batch)
     ledger_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
@@ -880,6 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the static pre-screen")
     engine_flags(p_serve)
     specs_flags(p_serve)
+    tiering_flags(p_serve)
     cache_flags(p_serve)
     ledger_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)

@@ -45,6 +45,17 @@ from repro.analysis.commutativity import (
 from repro.analysis.dynamic_deps import DynamicDepProfiler
 from repro.analysis.loops import build_loop_forest
 from repro.analysis.purity import EffectAnalysis
+from repro.analysis.reductions import COMPLEX_REDUCTIONS, classify_loop
+from repro.analysis.sccdag import (
+    DEFAULT_MAX_PIPELINE_STAGES,
+    TIER_DOALL,
+    TIER_PIPELINE,
+    TIER_REDUCTION,
+    TIER_SEQUENTIAL,
+    build_sccdag,
+    partition_stages,
+    resolve_tiering,
+)
 from repro.analysis.specs import (
     SpecRegistry,
     default_registry,
@@ -123,6 +134,8 @@ class DcaAnalyzer:
         cache=None,
         source_text: Optional[str] = None,
         source_path: Optional[str] = None,
+        tiering: Optional[bool] = None,
+        max_pipeline_stages: int = DEFAULT_MAX_PIPELINE_STAGES,
     ):
         self.module = module
         self.entry = entry
@@ -198,6 +211,18 @@ class DcaAnalyzer:
         #: verify`` can recompile and re-execute cached loops.
         self.source_text = source_text
         self.source_path = source_path
+        #: Parallelization tiering (DOALL/REDUCTION/PIPELINE/SEQUENTIAL
+        #: per loop; see :mod:`repro.analysis.sccdag`).  ``None`` resolves
+        #: from the ``REPRO_TIERING`` environment (default: off).  When
+        #: off, reports and cache keys are byte-identical to tiering-free
+        #: releases.
+        self.tiering = resolve_tiering(tiering)
+        if max_pipeline_stages < 2:
+            raise ValueError("max_pipeline_stages must be >= 2")
+        self.max_pipeline_stages = max_pipeline_stages
+        #: Dependence profiler retained from the profiling run; the
+        #: tiering stage reuses its per-loop edges and privatization facts.
+        self._dep_profiler: Optional[DynamicDepProfiler] = None
         self._workload_digest: Optional[str] = None
         #: Chrome-trace lane per worker pid (assigned in merge order).
         self._lane_by_pid: Dict[int, int] = {}
@@ -296,6 +321,7 @@ class DcaAnalyzer:
         #: inner loop's slice.
         self.memory_flow = profiler.memory_flow_edges()
         self._profiled_trips = dict(profiler.max_trips)
+        self._dep_profiler = profiler
 
     def _program_outcome(self, interp: Interpreter, result: object):
         """The eventual observable outcome of a finished execution.
@@ -330,6 +356,14 @@ class DcaAnalyzer:
             s.name for s in self.schedules.testing_schedules()
         ]
 
+    def _tiering_fingerprint(self) -> Optional[Dict[str, object]]:
+        """Tiering's fingerprint contribution — ``None`` (key omitted,
+        same as the specs pattern) whenever tiering is off, so
+        tiering-off cache keys match tiering-free releases exactly."""
+        if not self.tiering:
+            return None
+        return {"max_pipeline_stages": self.max_pipeline_stages}
+
     def _fingerprint_description(self) -> Dict[str, object]:
         return fingerprint_description(
             self._schedule_names(),
@@ -343,6 +377,7 @@ class DcaAnalyzer:
                 else None
             ),
             specs=self.specs.digest() if self.specs is not None else None,
+            tiering=self._tiering_fingerprint(),
         )
 
     def config_fingerprint(self) -> str:
@@ -360,6 +395,7 @@ class DcaAnalyzer:
                 else None
             ),
             specs=self.specs.digest() if self.specs is not None else None,
+            tiering=self._tiering_fingerprint(),
         )
 
     def _apply_cached(
@@ -430,6 +466,7 @@ class DcaAnalyzer:
         return report
 
     def _analyze(self, report: DcaReport) -> None:
+        report.tiering = self.tiering
         with self._stage(report, "selection"):
             report.results = self.select_candidates()
         report.static_filter = self.static_filter
@@ -571,6 +608,73 @@ class DcaAnalyzer:
                         skipped_before,
                         outcomes[plan.label],
                     )
+        if self.tiering:
+            with self._stage(report, "tiering"):
+                self._assign_tiers(report)
+
+    # -- tiering stage -------------------------------------------------------
+
+    def _assign_tiers(self, report: DcaReport) -> None:
+        """Assign a parallelization tier to every loop (see
+        :mod:`repro.analysis.sccdag` for the tier vocabulary).
+
+        Commutative loops are DOALL — or REDUCTION when their payoff
+        depends on privatized accumulators (carried reduction scalars or
+        histogram updates).  Non-commutative and runtime-faulting loops
+        get a chance at DSWP: if the SCC-DAG of their dependence graph
+        partitions into 2+ stages they are PIPELINE, else SEQUENTIAL.
+        Every other verdict (untestable, not-exercised, I/O, …) is
+        SEQUENTIAL.  Tiers are recomputed from the fresh dependence
+        profile on every run — cache replays never carry them.
+        """
+        profiler = self._dep_profiler
+        forests = {
+            name: build_loop_forest(func)
+            for name, func in self.module.functions.items()
+        }
+        for label in sorted(report.results):
+            result = report.results[label]
+            forest = forests.get(result.function)
+            loop = forest.loops.get(label) if forest is not None else None
+            if loop is None:
+                result.tier = TIER_SEQUENTIAL
+                continue
+            func = self.module.functions[result.function]
+            idioms = classify_loop(func, loop)
+            if result.is_commutative:
+                has_reduction = bool(idioms.histograms) or any(
+                    klass in COMPLEX_REDUCTIONS
+                    for klass in idioms.scalars.values()
+                )
+                result.tier = (
+                    TIER_REDUCTION if has_reduction else TIER_DOALL
+                )
+                continue
+            if result.verdict not in (NON_COMMUTATIVE, RUNTIME_FAULT):
+                result.tier = TIER_SEQUENTIAL
+                continue
+            deps = (
+                profiler.deps_for(label) if profiler is not None else None
+            )
+            if deps is None:
+                result.tier = TIER_SEQUENTIAL
+                continue
+            dag = build_sccdag(
+                func,
+                loop,
+                deps,
+                idioms,
+                lambda loc, lb=label: profiler.is_privatizable(lb, loc),
+            )
+            plan = partition_stages(dag, self.max_pipeline_stages)
+            if len(plan.stages) >= 2:
+                result.tier = TIER_PIPELINE
+                result.pipeline_plan = plan.to_dict()
+            else:
+                result.tier = TIER_SEQUENTIAL
+        if self._obs.enabled:
+            for tier, n in sorted(report.tier_counts().items()):
+                self._obs.count(f"dca.tier.{tier}", n)
 
     def _apply_static_verdict(self, label: str, result: LoopResult) -> bool:
         """Resolve a loop from its static proof, skipping permutation

@@ -30,6 +30,13 @@ DECIDED_CACHE = "cache"  # replayed from the persistent analysis cache
 #: Provenances counted as "statically decided" in hit-rate accounting.
 _STATIC_PROVENANCES = frozenset({DECIDED_STATIC, DECIDED_STATIC_SPECS})
 
+#: Serialized report schema.  Version 1 is the flat per-loop dict every
+#: pre-tiering consumer parses; version 2 (emitted only when tiering is
+#: on) nests the verdict into a structured object with ``tier`` /
+#: ``pipeline_plan`` and stamps ``report_schema_version`` at the top.
+#: Version-1 output stays byte-identical to pre-tiering releases.
+REPORT_SCHEMA_VERSION = 2
+
 
 @dataclass
 class LoopCost:
@@ -149,10 +156,22 @@ class LoopResult:
     mismatch_detail: Optional[Dict[str, object]] = None
     #: Dynamic-stage cost breakdown for this loop.
     cost: LoopCost = field(default_factory=LoopCost)
+    #: Parallelization tier (DOALL/REDUCTION/PIPELINE/SEQUENTIAL) when
+    #: tiering ran; ``None`` otherwise.  Never cached: tiers are
+    #: recomputed from the fresh dependence profile on every run.
+    tier: Optional[str] = None
+    #: Serialized :class:`~repro.analysis.sccdag.PipelinePlan` for
+    #: PIPELINE-tier loops.
+    pipeline_plan: Optional[Dict[str, object]] = None
 
     @property
     def is_commutative(self) -> bool:
         return self.verdict in _COMMUTATIVE_VERDICTS
+
+    @property
+    def used_specs(self) -> bool:
+        """Whether declared commutativity specs decided this loop."""
+        return self.serialized_decided_by == DECIDED_STATIC_SPECS
 
     @property
     def qualified_name(self) -> str:
@@ -168,13 +187,31 @@ class LoopResult:
         stage that originally decided the loop."""
         return self.cache_origin or self.decided_by
 
-    def to_dict(self) -> Dict[str, object]:
+    def verdict_object(self) -> Dict[str, object]:
+        """Schema-2 structured verdict: the scattered top-level verdict
+        fields gathered into one object."""
+        return {
+            "value": self.verdict,
+            "tier": self.tier,
+            "decided_by": self.serialized_decided_by,
+            "used_specs": self.used_specs,
+            "pipeline_plan": self.pipeline_plan,
+        }
+
+    def to_dict(self, schema: int = 1) -> Dict[str, object]:
+        """Serialize this loop.  ``schema=1`` (the default, also the
+        cache-payload shape) is byte-identical to pre-tiering releases;
+        ``schema=2`` nests the verdict while keeping ``decided_by`` and
+        ``is_commutative`` as deprecated flat aliases for one release."""
+        verdict: object = (
+            self.verdict_object() if schema >= 2 else self.verdict
+        )
         return {
             "label": self.label,
             "function": self.function,
             "line": self.line,
             "kind": self.kind,
-            "verdict": self.verdict,
+            "verdict": verdict,
             "reason": self.reason,
             "invocations": self.invocations,
             "max_trip": self.max_trip,
@@ -221,7 +258,12 @@ class LoopResult:
 
     def __str__(self) -> str:
         extra = f" ({self.reason})" if self.reason else ""
-        return f"{self.label}: {self.verdict}{extra}"
+        tag = ""
+        if self.tier is not None:
+            stages = (self.pipeline_plan or {}).get("stages", ())
+            detail = f"(stages={len(stages)})" if stages else ""
+            tag = f" [{self.tier}{detail}]"
+        return f"{self.label}: {self.verdict}{extra}{tag}"
 
 
 @dataclass
@@ -306,6 +348,10 @@ class DcaReport:
     #: Persistent-cache accounting for this run.  Same contract: never
     #: serialized, so warm reports match cold reports byte-for-byte.
     cache: CacheAccounting = field(default_factory=CacheAccounting)
+    #: Whether the tiering stage ran.  When True, serialization emits
+    #: schema 2 (``report_schema_version`` + structured verdicts); when
+    #: False, output stays byte-identical to pre-tiering releases.
+    tiering: bool = False
 
     def loop(self, label: str) -> LoopResult:
         return self.results[label]
@@ -320,6 +366,14 @@ class DcaReport:
         counts: Dict[str, int] = {}
         for result in self.results.values():
             counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return counts
+
+    def tier_counts(self) -> Dict[str, int]:
+        """Histogram of parallelization tiers (tiered loops only)."""
+        counts: Dict[str, int] = {}
+        for result in self.results.values():
+            if result.tier is not None:
+                counts[result.tier] = counts.get(result.tier, 0) + 1
         return counts
 
     def decided_by_counts(self, serialized: bool = False) -> Dict[str, int]:
@@ -369,16 +423,33 @@ class DcaReport:
         }
 
     def to_dict(self) -> Dict[str, object]:
+        if not self.tiering:
+            # Pre-tiering (schema 1) shape, byte-identical to PR 9.
+            return {
+                "entry": self.entry,
+                "executions": self.executions,
+                "schedule_executions": self.schedule_executions,
+                "static_filter": self.static_filter,
+                "verdict_counts": self.verdict_counts(),
+                "decided_by": self.decided_by_counts(serialized=True),
+                "metrics": self.metrics_dict(),
+                "loops": {
+                    label: self.results[label].to_dict()
+                    for label in sorted(self.results)
+                },
+            }
         return {
+            "report_schema_version": REPORT_SCHEMA_VERSION,
             "entry": self.entry,
             "executions": self.executions,
             "schedule_executions": self.schedule_executions,
             "static_filter": self.static_filter,
             "verdict_counts": self.verdict_counts(),
+            "tier_counts": self.tier_counts(),
             "decided_by": self.decided_by_counts(serialized=True),
             "metrics": self.metrics_dict(),
             "loops": {
-                label: self.results[label].to_dict()
+                label: self.results[label].to_dict(schema=2)
                 for label in sorted(self.results)
             },
         }

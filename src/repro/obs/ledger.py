@@ -43,7 +43,9 @@ LEDGER_DB_NAME = "run-ledger.sqlite"
 #: Environment fallback for the ledger directory (CLI flag wins).
 LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 
-_SCHEMA_VERSION = 1
+#: v2: per-tier verdict counts (``tiers`` column) — pre-existing
+#: databases are migrated in place via ``ALTER TABLE ADD COLUMN``.
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -62,6 +64,7 @@ CREATE TABLE IF NOT EXISTS runs (
     cache_hits INTEGER NOT NULL DEFAULT 0,
     cache_misses INTEGER NOT NULL DEFAULT 0,
     verdicts TEXT NOT NULL DEFAULT '{}',
+    tiers TEXT NOT NULL DEFAULT '{}',
     stage_times TEXT NOT NULL DEFAULT '{}',
     extra TEXT
 );
@@ -72,7 +75,7 @@ CREATE INDEX IF NOT EXISTS runs_series
 _ROW_FIELDS = (
     "run_id", "recorded_at", "kind", "program", "fingerprint", "wall_ms",
     "schedule_executions", "executions_saved", "cache_hits", "cache_misses",
-    "verdicts", "stage_times", "extra",
+    "verdicts", "tiers", "stage_times", "extra",
 )
 
 
@@ -98,6 +101,18 @@ class RunLedger:
         self.path = os.path.join(self.directory, LEDGER_DB_NAME)
         self._conn = sqlite3.connect(self.path, timeout=30.0)
         self._conn.executescript(_SCHEMA)
+        # v1 -> v2 in-place migration: the CREATE above is a no-op on an
+        # existing database, so add any column it is missing.
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        if "tiers" not in columns:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE runs "
+                    "ADD COLUMN tiers TEXT NOT NULL DEFAULT '{}'"
+                )
         try:  # WAL keeps concurrent recorders off each other's locks
             self._conn.execute("PRAGMA journal_mode=WAL")
         except sqlite3.DatabaseError:  # pragma: no cover - fs-dependent
@@ -134,6 +149,7 @@ class RunLedger:
         cache_hits: int = 0,
         cache_misses: int = 0,
         verdicts: Optional[Dict[str, int]] = None,
+        tiers: Optional[Dict[str, int]] = None,
         stage_times: Optional[Dict[str, float]] = None,
         extra: Optional[Dict[str, object]] = None,
     ) -> int:
@@ -142,8 +158,8 @@ class RunLedger:
             cursor = self._conn.execute(
                 "INSERT INTO runs (recorded_at, kind, program, fingerprint, "
                 "wall_ms, schedule_executions, executions_saved, cache_hits, "
-                "cache_misses, verdicts, stage_times, extra) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "cache_misses, verdicts, tiers, stage_times, extra) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     self._clock(),
                     kind,
@@ -155,6 +171,7 @@ class RunLedger:
                     int(cache_hits),
                     int(cache_misses),
                     json.dumps(verdicts or {}, sort_keys=True),
+                    json.dumps(tiers or {}, sort_keys=True),
                     json.dumps(stage_times or {}, sort_keys=True),
                     json.dumps(extra, sort_keys=True)
                     if extra is not None
@@ -169,6 +186,7 @@ class RunLedger:
     def _row_to_dict(row) -> Dict[str, object]:
         out = dict(zip(_ROW_FIELDS, row))
         out["verdicts"] = json.loads(out["verdicts"] or "{}")
+        out["tiers"] = json.loads(out["tiers"] or "{}")
         out["stage_times"] = json.loads(out["stage_times"] or "{}")
         out["extra"] = json.loads(out["extra"]) if out["extra"] else None
         attempts = out["cache_hits"] + out["cache_misses"]
@@ -245,6 +263,7 @@ class RunLedger:
                 "latest_wall_ms": latest["wall_ms"],
                 "latest_executions_saved": latest["executions_saved"],
                 "latest_cache_hit_rate": latest["cache_hit_rate"],
+                "latest_tiers": latest["tiers"],
                 "median_wall_ms": None,
                 "median_executions_saved": None,
                 "wall_ms_delta_pct": None,

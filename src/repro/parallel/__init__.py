@@ -5,6 +5,7 @@ from repro.parallel.machine import (
     MachineModel,
     dynamic_makespan,
     parallel_invocation_time,
+    pipeline_invocation_time,
     static_makespan,
 )
 from repro.parallel.privatization import ParallelClauses, synthesize_clauses
@@ -20,7 +21,7 @@ __all__ = [
     "SpeedupReport",
     "dynamic_makespan",
     "parallel_invocation_time",
-    "select_outermost",
+    "pipeline_invocation_time",
     "select_outermost",
     "static_makespan",
     "synthesize_clauses",

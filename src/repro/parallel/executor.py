@@ -28,7 +28,12 @@ from repro.analysis.reductions import classify_loop
 from repro.interp.interpreter import Interpreter
 from repro.interp.profiler import Profiler
 from repro.ir.function import Module
-from repro.parallel.machine import MachineModel, parallel_invocation_time
+from repro.analysis.sccdag import stage_shapes
+from repro.parallel.machine import (
+    MachineModel,
+    parallel_invocation_time,
+    pipeline_invocation_time,
+)
 from repro.parallel.privatization import ParallelClauses, synthesize_clauses
 from repro.parallel.selection import NestingObserver, Selection, select_outermost
 
@@ -43,6 +48,8 @@ class LoopSpeedup:
     seq_cost: int
     par_cost: int
     clauses: Optional[ParallelClauses] = None
+    #: "doall" (default) or "pipeline" (DSWP stage plan supplied).
+    mode: str = "doall"
 
     @property
     def local_speedup(self) -> float:
@@ -73,9 +80,10 @@ class SpeedupReport:
             f"speedup={self.speedup:.2f}x"
         ]
         for label, det in sorted(self.loops.items()):
+            tag = " [pipeline]" if det.mode == "pipeline" else ""
             lines.append(
                 f"  {label}: cov={det.coverage:.1%} inv={det.invocations} "
-                f"local={det.local_speedup:.1f}x"
+                f"local={det.local_speedup:.1f}x{tag}"
             )
         return "\n".join(lines)
 
@@ -130,8 +138,14 @@ class ParallelSimulator:
         forced_labels: Optional[Sequence[str]] = None,
         expert_extra_fraction: float = 0.0,
         serial_fractions: Optional[Dict[str, float]] = None,
+        pipeline_plans: Optional[Dict[str, Dict]] = None,
     ) -> SpeedupReport:
-        """Simulate parallelizing (a profitable subset of) the candidates."""
+        """Simulate parallelizing (a profitable subset of) the candidates.
+
+        ``pipeline_plans`` maps loop labels to serialized
+        :class:`~repro.analysis.sccdag.PipelinePlan` dicts; a planned
+        loop is simulated as a DSWP pipeline instead of DOALL.
+        """
         active = obs.current()
         with active.span(
             "parallel.simulate", cores=self.model.cores,
@@ -144,6 +158,7 @@ class ParallelSimulator:
                 forced_labels,
                 expert_extra_fraction,
                 serial_fractions,
+                pipeline_plans,
             )
         if active.enabled:
             active.metrics.counter("parallel.loops_simulated").inc(
@@ -160,6 +175,7 @@ class ParallelSimulator:
         forced_labels: Optional[Sequence[str]],
         expert_extra_fraction: float,
         serial_fractions: Optional[Dict[str, float]],
+        pipeline_plans: Optional[Dict[str, Dict]] = None,
     ) -> SpeedupReport:
         profiler = self.profile(candidate_labels)
         nesting = self._nesting
@@ -187,6 +203,9 @@ class ParallelSimulator:
         for label in selection.chosen:
             clauses = clause_cache.get(label)
             n_red = len(clauses.reductions) if clauses else 0
+            plan = (pipeline_plans or {}).get(label)
+            shapes = stage_shapes(plan) if plan else []
+            mode = "pipeline" if len(shapes) >= 2 else "doall"
             # DCA's linearize-then-dispatch codegen leaves the iterator
             # sequential; only the payload share of each iteration spreads
             # over the workers (relevant for PLDS traversals).
@@ -198,6 +217,14 @@ class ParallelSimulator:
                 costs = profiler.iteration_costs(label, inv)
                 inv_seq = sum(costs)
                 seq_cost += inv_seq
+                if mode == "pipeline":
+                    # DSWP forwards every value stage-to-stage in
+                    # iteration order; the iterator rides in stage 0, so
+                    # no extra serial fraction applies.
+                    par_cost += pipeline_invocation_time(
+                        costs, shapes, self.model
+                    )
+                    continue
                 if frac > 0.0:
                     serial_part = int(inv_seq * frac)
                     payload = [max(int(c * (1.0 - frac)), 0) for c in costs]
@@ -222,6 +249,7 @@ class ParallelSimulator:
                 seq_cost=seq_cost,
                 par_cost=par_cost,
                 clauses=clauses,
+                mode=mode,
             )
         selection.chosen = kept
 

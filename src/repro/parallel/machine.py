@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -104,3 +104,68 @@ def parallel_invocation_time(
         rounds = max(1, (min(model.cores, max(len(costs), 1)) - 1).bit_length())
         merge = reduction_vars * model.reduction_merge_cost * rounds
     return span + model.fork_join_cost + merge
+
+
+def _split_cost(cost: int, cum_before: int, cum_after: int, total: int) -> int:
+    """Integer share of ``cost`` for one stage's weight slice.
+
+    Cumulative splitting (``c*end//total - c*start//total``) partitions
+    ``cost`` exactly across the stages — no rounding drift.
+    """
+    if total <= 0:
+        return 0
+    return cost * cum_after // total - cost * cum_before // total
+
+
+def pipeline_invocation_time(
+    costs: Sequence[int],
+    stages: Sequence[Tuple[int, bool]],
+    model: MachineModel,
+) -> int:
+    """Simulated time of one DSWP invocation.
+
+    ``stages`` lists ``(weight, replicable)`` per pipeline stage; each
+    iteration's cost is split across stages proportionally to stage
+    weight.  Every stage gets one dedicated core; leftover cores are
+    dealt round-robin (heaviest first) to replicable stages.  Iterations
+    stream through the stages in order: a stage starts iteration *i*
+    when both the previous stage has finished it and one of the stage's
+    replicas is free.  Non-replicable stages keep iteration order, which
+    is what lets non-commutative loops run here at all.
+    """
+    if not costs:
+        return 0
+    shapes = [(int(w), bool(p)) for w, p in stages if int(w) > 0]
+    if len(shapes) < 2 or model.cores < len(shapes):
+        return sum(costs) + model.fork_join_cost
+    total = sum(w for w, _ in shapes)
+    replicas = [1] * len(shapes)
+    spare = model.cores - len(shapes)
+    order = sorted(
+        (i for i, (_, par) in enumerate(shapes) if par),
+        key=lambda i: -shapes[i][0],
+    )
+    while spare > 0 and order:
+        for i in order:
+            if spare == 0:
+                break
+            replicas[i] += 1
+            spare -= 1
+    # Replica pools: min-heap of free times per stage.
+    pools = [[0] * replicas[i] for i in range(len(shapes))]
+    for pool in pools:
+        heapq.heapify(pool)
+    finish = 0
+    for cost in costs:
+        prev_done = 0
+        cum = 0
+        for idx, (weight, parallel) in enumerate(shapes):
+            share = _split_cost(cost, cum, cum + weight, total)
+            cum += weight
+            free = heapq.heappop(pools[idx])
+            start = max(free, prev_done)
+            done = start + share + model.task_cost
+            heapq.heappush(pools[idx], done)
+            prev_done = done
+        finish = max(finish, prev_done)
+    return finish + model.fork_join_cost

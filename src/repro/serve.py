@@ -132,6 +132,8 @@ REQUEST_CONFIG_FIELDS = (
     "schedule_seed",
     "candidate_labels",
     "specs",
+    "tiering",
+    "max_pipeline_stages",
 )
 
 #: Request bodies past this size are refused with 413.

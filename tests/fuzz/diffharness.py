@@ -68,6 +68,8 @@ __all__ = [
     "cache_differential_check",
     "differential_check",
     "specs_soundness_check",
+    "tier_map",
+    "tiering_differential_check",
 ]
 
 #: Dynamic verdicts that contradict a static commutativity proof.
@@ -326,6 +328,92 @@ def cache_differential_check(
     if violation:
         problems.append(f"warm {violation}")
     return problems
+
+
+def tiering_differential_check(
+    source: Optional[str] = None,
+    seed: Optional[int] = None,
+    jobs: int = 2,
+) -> List[str]:
+    """Byte-identity of *tiered* reports across every backend pair.
+
+    The tiering stage recomputes tiers from the dependence profile on
+    every run, so the same report-identity bar as
+    :func:`differential_check` applies to the schema-2 serialization:
+    serial vs process schedule backends, each under the interpreter,
+    closure-compiled, and codegen execution backends.  Also checks that
+    turning tiering ON never changes a verdict — tiers annotate the
+    report, they must not perturb the oracle.
+    """
+    if source is None:
+        source = generate_program(seed)
+    problems: List[str] = []
+
+    def analyze(backend: str, exec_backend: str, **kwargs):
+        return DcaAnalyzer(
+            compile_program(source),
+            static_filter=False,
+            clock=_zero,
+            backend=backend,
+            exec_backend=exec_backend,
+            **kwargs,
+        ).analyze()
+
+    tiered = analyze("serial", "interp", tiering=True)
+    j_tiered = tiered.to_json()
+    variants = [
+        ("process-interp", ("process", "interp")),
+        ("serial-compiled", ("serial", "compiled")),
+        ("process-compiled", ("process", "compiled")),
+        ("serial-codegen", ("serial", "codegen")),
+        ("process-codegen", ("process", "codegen")),
+    ]
+    for name, (backend, exec_backend) in variants:
+        kwargs = {"tiering": True}
+        if backend == "process":
+            kwargs["jobs"] = jobs
+        other = analyze(backend, exec_backend, **kwargs)
+        j_other = other.to_json()
+        if j_other != j_tiered:
+            diff = "\n".join(
+                list(
+                    difflib.unified_diff(
+                        j_tiered.splitlines(),
+                        j_other.splitlines(),
+                        fromfile="serial-interp",
+                        tofile=name,
+                        lineterm="",
+                    )
+                )[:40]
+            )
+            problems.append(f"tiered {name} report divergence:\n{diff}")
+
+    untiered = analyze("serial", "interp", tiering=False)
+    for label in sorted(untiered.results):
+        if tiered.results[label].verdict != untiered.results[label].verdict:
+            problems.append(
+                f"{label}: tiering changed the verdict "
+                f"{untiered.results[label].verdict} -> "
+                f"{tiered.results[label].verdict}"
+            )
+    return problems
+
+
+def tier_map(source: str) -> Dict[str, Dict[str, object]]:
+    """Per-loop {tier, stages} under tiering — corpus tier goldens."""
+    report = DcaAnalyzer(
+        compile_program(source), static_filter=False, clock=_zero,
+        backend="serial", tiering=True,
+    ).analyze()
+    out: Dict[str, Dict[str, object]] = {}
+    for label in sorted(report.results):
+        result = report.results[label]
+        plan = result.pipeline_plan
+        out[label] = {
+            "tier": result.tier,
+            "stages": len(plan["stages"]) if plan else 0,
+        }
+    return out
 
 
 def verdict_map(source: str) -> Dict[str, str]:

@@ -22,6 +22,13 @@ execution orders:
   can appear only under some schedules (fault paths mid-replay), and a
   nested busy loop whose per-iteration step count is large enough that
   an externally imposed ``max_steps`` exhausts mid-loop;
+* ``pipeline_cursor`` / ``pipeline_chase_sum`` / ``pipeline_shift`` —
+  non-commutative loops with *pipeline structure*: a sequential SCC (a
+  scalar recurrence, an order-sensitive traversal accumulator, or a
+  prefix memory cycle) feeding an independent parallel SCC in the same
+  loop body.  Under ``REPRO_TIERING`` these must tier as ``PIPELINE``
+  (multiple stages) rather than ``SEQUENTIAL``, and the tiered report
+  must stay byte-identical across schedule and execution backends;
 * ``bag_insert`` / ``set_insert`` / ``bag_insert_global`` — container
   building over the *declared* ``BagNode``/``SetNode`` types: byte-exact
   verification calls them non-commutative (the chain permutes with the
@@ -55,6 +62,9 @@ ARCHETYPES = (
     ("prefix", 3),
     ("cross_inplace", 2),
     ("pointer_chase", 3),
+    ("pipeline_cursor", 2),
+    ("pipeline_chase_sum", 2),
+    ("pipeline_shift", 2),
     ("bag_insert", 2),
     ("set_insert", 2),
     ("bag_insert_global", 1),
@@ -192,6 +202,68 @@ def _emit_pointer_chase(e: _Emitter, k: int) -> None:
     e.line(f"  p{k} = p{k}.next;")
     e.line("}")
     e.prints.append(f"t{k}")
+
+
+def _emit_pipeline_cursor(e: _Emitter, k: int) -> None:
+    # Scalar recurrence (sequential SCC) feeding an elementwise store
+    # (parallel SCC): non-commutative, but pipelinable — the recurrence
+    # serializes in stage 0 while the store replicates downstream.
+    mul = e.rng.randint(2, 5)
+    mod = e.rng.randint(3, 9)
+    e.line(f"int cur{k} = 1;")
+    e.line(f"int[] pc{k} = new int[{e.n}];")
+    e.for_loop(
+        [
+            f"cur{k} = cur{k} * {mul} + a[i];",
+            f"pc{k}[i] = cur{k} % {mod} + a[i] * 2;",
+        ]
+    )
+    e.checksum_array(k, f"pc{k}", e.n)
+    e.prints.append(f"cur{k}")
+
+
+def _emit_pipeline_chase_sum(e: _Emitter, k: int) -> None:
+    # Pointer traversal with an order-sensitive accumulator
+    # (s = s*2 + value does not commute): the chase + accumulator form
+    # one sequential SCC, the per-node payload update another — a
+    # pipeline over heap structure.
+    e.needs_node = True
+    mul = e.rng.randint(2, 4)
+    e.line(f"Node* ch{k} = null;")
+    e.for_loop(
+        [
+            "Node* n = new Node;",
+            "n.value = a[i];",
+            f"n.next = ch{k};",
+            f"ch{k} = n;",
+        ]
+    )
+    e.line(f"int cs{k} = 0;")
+    e.line(f"Node* cp{k} = ch{k};")
+    e.line(f"while (cp{k} != null) {{")
+    e.line(f"  cp{k}.value = cp{k}.value * {mul} + 1;")
+    e.line(f"  cs{k} = cs{k} * 2 + cp{k}.value;")
+    e.line(f"  cp{k} = cp{k}.next;")
+    e.line("}")
+    e.prints.append(f"cs{k}")
+
+
+def _emit_pipeline_shift(e: _Emitter, k: int) -> None:
+    # Prefix memory cycle (ps[i+1] reads ps[i]) next to an independent
+    # elementwise store in the SAME loop: the cycle is one sequential
+    # SCC, the store a parallel one — two pipeline stages.
+    mul = e.rng.randint(2, 6)
+    e.line(f"int[] ps{k} = new int[{e.n + 1}];")
+    e.line(f"int[] pq{k} = new int[{e.n}];")
+    e.line(f"ps{k}[0] = 0;")
+    e.for_loop(
+        [
+            f"ps{k}[i + 1] = ps{k}[i] + a[i];",
+            f"pq{k}[i] = a[i] * {mul};",
+        ]
+    )
+    e.checksum_array(k, f"ps{k}", e.n + 1)
+    e.checksum_array(k + 100, f"pq{k}", e.n)
 
 
 def _emit_bag_insert(e: _Emitter, k: int) -> None:
@@ -366,6 +438,9 @@ _EMITTERS = {
     "prefix": _emit_prefix,
     "cross_inplace": _emit_cross_inplace,
     "pointer_chase": _emit_pointer_chase,
+    "pipeline_cursor": _emit_pipeline_cursor,
+    "pipeline_chase_sum": _emit_pipeline_chase_sum,
+    "pipeline_shift": _emit_pipeline_shift,
     "bag_insert": _emit_bag_insert,
     "set_insert": _emit_set_insert,
     "bag_insert_global": _emit_bag_insert_global,

@@ -15,10 +15,13 @@ import os
 
 import pytest
 
-from diffharness import differential_check, verdict_map
+from diffharness import differential_check, tier_map, verdict_map
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
 CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.mc")))
+#: Programs additionally pinned under REPRO_TIERING: the paired
+#: ``*.tiers.json`` freezes each loop's tier and pipeline stage count.
+TIERED = [p for p in CORPUS if os.path.exists(p.replace(".mc", ".tiers.json"))]
 
 
 def test_corpus_is_populated():
@@ -48,3 +51,29 @@ def test_corpus_program_passes_differential_harness(path):
         source = handle.read()
     problems = differential_check(source=source)
     assert not problems, f"{path} diverged:\n" + "\n".join(problems)
+
+
+def test_tiered_corpus_is_populated():
+    # The tier goldens must pin loops that DOALL-only analysis leaves on
+    # the floor: non-commutative loops promoted to PIPELINE.
+    assert len(TIERED) >= 2
+    pipelined = 0
+    for path in TIERED:
+        with open(path.replace(".mc", ".tiers.json")) as handle:
+            tiers = json.load(handle)
+        if any(entry["tier"] == "PIPELINE" for entry in tiers.values()):
+            pipelined += 1
+    assert pipelined >= 2
+
+
+@pytest.mark.parametrize("path", TIERED, ids=os.path.basename)
+def test_corpus_program_matches_expected_tiers(path):
+    with open(path) as handle:
+        source = handle.read()
+    with open(path.replace(".mc", ".tiers.json")) as handle:
+        expected = json.load(handle)
+    assert tier_map(source) == expected
+    # Tiering must not disturb the pinned verdicts.
+    with open(path.replace(".mc", ".expect.json")) as handle:
+        verdicts = json.load(handle)
+    assert verdict_map(source) == verdicts

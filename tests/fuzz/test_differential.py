@@ -15,11 +15,14 @@ from diffharness import (
     cache_differential_check,
     differential_check,
     specs_soundness_check,
+    tier_map,
+    tiering_differential_check,
 )
 from fuzzgen import ARCHETYPES, generate_program
 
 SEED_COUNT = int(os.environ.get("REPRO_FUZZ_SEEDS", "25"))
 CACHE_SEED_COUNT = int(os.environ.get("REPRO_FUZZ_CACHE_SEEDS", "10"))
+TIER_SEED_COUNT = int(os.environ.get("REPRO_FUZZ_TIER_SEEDS", "10"))
 
 
 @pytest.mark.parametrize("seed", range(SEED_COUNT))
@@ -52,6 +55,34 @@ def test_specs_soundness_seed(seed):
         + "\n".join(problems)
         + "\n--- program ---\n"
         + generate_program(seed)
+    )
+
+
+@pytest.mark.parametrize("seed", range(TIER_SEED_COUNT))
+def test_tiering_differential_seed(seed):
+    problems = tiering_differential_check(seed=seed)
+    assert not problems, (
+        f"seed {seed} tiering divergence:\n"
+        + "\n".join(problems)
+        + "\n--- program ---\n"
+        + generate_program(seed)
+    )
+
+
+def test_pipeline_archetypes_tier_as_pipeline():
+    # At least one generated program in the smoke range must contain a
+    # non-commutative loop promoted to PIPELINE — the outcome the
+    # pipeline_* archetypes exist to exercise.
+    for seed in range(60):
+        source = generate_program(seed)
+        if "pipeline_" not in source.splitlines()[0]:
+            continue
+        tiers = tier_map(source)
+        if any(entry["tier"] == "PIPELINE" and entry["stages"] >= 2
+               for entry in tiers.values()):
+            return
+    raise AssertionError(
+        "no pipeline-archetype program tiered PIPELINE in seeds 0..59"
     )
 
 

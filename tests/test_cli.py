@@ -62,7 +62,12 @@ def test_cli_analyze_json(program_file, capsys):
     assert main(["analyze", program_file, "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     loop = payload["loops"]["main.L0"]
-    assert loop["verdict"] == "commutative"
+    # Schema 1 serializes the verdict as a flat string; schema 2 (when
+    # REPRO_TIERING is set in the environment) nests it in an object.
+    verdict = loop["verdict"]
+    if isinstance(verdict, dict):
+        verdict = verdict["value"]
+    assert verdict == "commutative"
     assert loop["decided_by"] == "static"
     assert payload["static_filter"] is True
 
@@ -96,6 +101,40 @@ def test_cli_analyze_text_shows_pipeline_cost(program_file, capsys):
     assert "pipeline cost:" in out
     assert "interpreted instructions" in out
     assert "stages:" in out
+
+
+def test_cli_analyze_tiering_flag(program_file, capsys):
+    assert main(["analyze", program_file, "--tiering"]) == 0
+    out = capsys.readouterr().out
+    assert "tiers:" in out
+    assert "DOALL" in out or "REDUCTION" in out
+
+
+def test_cli_analyze_tiering_env(program_file, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_TIERING", "1")
+    assert main(["analyze", program_file]) == 0
+    assert "tiers:" in capsys.readouterr().out
+
+
+def test_cli_no_tiering_flag_beats_env(program_file, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_TIERING", "1")
+    assert main(["analyze", program_file, "--no-tiering"]) == 0
+    assert "tiers:" not in capsys.readouterr().out
+
+
+def test_cli_tiering_off_by_default(program_file, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_TIERING", raising=False)
+    assert main(["analyze", program_file]) == 0
+    assert "tiers:" not in capsys.readouterr().out
+
+
+def test_cli_analyze_json_tiered_schema(program_file, capsys):
+    assert main(["analyze", program_file, "--tiering", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["report_schema_version"] == 2
+    loop = payload["loops"]["main.L0"]
+    assert loop["verdict"]["value"] == "commutative"
+    assert loop["verdict"]["tier"] in ("DOALL", "REDUCTION")
 
 
 def test_cli_detect(program_file, capsys):

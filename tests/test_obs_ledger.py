@@ -161,6 +161,101 @@ def test_window_bounds_the_median(tmp_path):
         assert not ledger.check_regressions(threshold_pct=50.0, window=10)
 
 
+# -- tier counts (ledger schema v2) -------------------------------------------
+
+
+def test_tiers_round_trip(tmp_path):
+    with make_ledger(tmp_path) as ledger:
+        record_run(ledger, tiers={"DOALL": 2, "PIPELINE": 1})
+        (row,) = ledger.runs()
+    assert row["tiers"] == {"DOALL": 2, "PIPELINE": 1}
+
+
+def test_tiers_default_empty(tmp_path):
+    with make_ledger(tmp_path) as ledger:
+        record_run(ledger)
+        (row,) = ledger.runs()
+    assert row["tiers"] == {}
+
+
+def test_trends_surface_latest_tiers(tmp_path):
+    with make_ledger(tmp_path) as ledger:
+        record_run(ledger, tiers={"DOALL": 1})
+        record_run(ledger, tiers={"DOALL": 1, "PIPELINE": 2})
+        (trend,) = ledger.trends()
+    assert trend["latest_tiers"] == {"DOALL": 1, "PIPELINE": 2}
+
+
+def test_v1_ledger_migrates_in_place(tmp_path):
+    # Build a schema-v1 database by hand (no tiers column), then reopen
+    # it through RunLedger: the ALTER TABLE migration must add the
+    # column without touching the existing rows.
+    import sqlite3
+
+    from repro.obs.ledger import LEDGER_DB_NAME
+
+    directory = tmp_path / "ledger"
+    directory.mkdir()
+    conn = sqlite3.connect(str(directory / LEDGER_DB_NAME))
+    conn.executescript("""
+        CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+        CREATE TABLE runs (
+            run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+            recorded_at REAL NOT NULL,
+            kind TEXT NOT NULL,
+            program TEXT NOT NULL,
+            fingerprint TEXT NOT NULL,
+            wall_ms REAL NOT NULL,
+            schedule_executions INTEGER NOT NULL DEFAULT 0,
+            executions_saved INTEGER NOT NULL DEFAULT 0,
+            cache_hits INTEGER NOT NULL DEFAULT 0,
+            cache_misses INTEGER NOT NULL DEFAULT 0,
+            verdicts TEXT NOT NULL DEFAULT '{}',
+            stage_times TEXT NOT NULL DEFAULT '{}',
+            extra TEXT
+        );
+        CREATE INDEX runs_series
+            ON runs (kind, program, fingerprint, run_id);
+        INSERT INTO meta (key, value) VALUES ('schema_version', '1');
+        INSERT INTO runs (recorded_at, kind, program, fingerprint, wall_ms,
+                          verdicts)
+            VALUES (1.0, 'analyze', 'old.mc', 'fp0', 5.0,
+                    '{"commutative": 1}');
+    """)
+    conn.commit()
+    conn.close()
+
+    with RunLedger(str(directory), clock=FakeClock()) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 1
+        assert rows[0]["verdicts"] == {"commutative": 1}
+        assert rows[0]["tiers"] == {}  # backfilled default
+        record_run(ledger, tiers={"SEQUENTIAL": 1})
+        rows = ledger.runs()
+    assert rows[1]["tiers"] == {"SEQUENTIAL": 1}
+
+
+def test_session_records_tier_counts(tmp_path):
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    source = PROGRAM
+    ledger_dir = str(tmp_path / "ledger")
+    with AnalysisSession(
+        AnalysisConfig(ledger_dir=ledger_dir, tiering=True)
+    ) as session:
+        session.analyze(source, source_path="prog.mc")
+    with AnalysisSession(
+        AnalysisConfig(ledger_dir=ledger_dir, tiering=False)
+    ) as session:
+        session.analyze(source, source_path="prog.mc")
+    with RunLedger(ledger_dir) as ledger:
+        tiered, untiered = ledger.runs()
+    assert sum(tiered["tiers"].values()) == sum(
+        tiered["verdicts"].values()
+    )
+    assert untiered["tiers"] == {}
+
+
 # -- session integration -------------------------------------------------------
 
 
@@ -235,6 +330,18 @@ def test_stats_healthy_ledger_exits_0(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "prog.mc" in out
     assert "no regressions" in out
+
+
+def test_stats_renders_tier_column(tmp_path, capsys):
+    ledger_dir = str(tmp_path / "ledger")
+    with RunLedger(ledger_dir, clock=FakeClock()) as ledger:
+        record_run(ledger, tiers={"DOALL": 2, "PIPELINE": 1})
+        record_run(ledger, program="plain.mc")  # no tiers recorded
+    assert main(["stats", "--ledger", ledger_dir]) == 0
+    out = capsys.readouterr().out
+    assert "tiers" in out  # column header
+    assert "DOALL=2 PIPELINE=1" in out
+    assert "-" in out  # untiered series placeholder
 
 
 def test_stats_exits_1_on_injected_regression(tmp_path, capsys):

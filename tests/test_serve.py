@@ -226,6 +226,30 @@ class TestEndpoints:
         assert status == 200
         assert data["report"]["static_filter"] is False
 
+    def test_tiering_accepted_per_request(self, client):
+        status, _, data = client.analyze(
+            GOOD, config={"tiering": True, "max_pipeline_stages": 3}
+        )
+        assert status == 200
+        report = data["report"]
+        assert report["report_schema_version"] == 2
+        assert sum(report["tier_counts"].values()) == len(report["loops"])
+        for loop in report["loops"].values():
+            assert loop["verdict"]["tier"] in (
+                "DOALL", "REDUCTION", "PIPELINE", "SEQUENTIAL"
+            )
+
+    def test_untiered_request_keeps_schema_1(self, client):
+        # Explicit off (the server may inherit REPRO_TIERING from its
+        # environment, e.g. the tests-tiering CI job).
+        status, _, data = client.analyze(GOOD, config={"tiering": False})
+        assert status == 200
+        report = data["report"]
+        assert "report_schema_version" not in report
+        assert "tier_counts" not in report
+        for loop in report["loops"].values():
+            assert isinstance(loop["verdict"], str)
+
 
 # ---------------------------------------------------------------------------
 # Coalescing
